@@ -1,0 +1,132 @@
+package swbench
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: the OvS
+// exact-match cache, flow-count sensitivity, multi-core scaling (future
+// work), containers vs VMs (future work), and the R⁺-vs-NDR methodology
+// choice (paper footnote 3).
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/switches/ovs"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// ovsNoEMC registers an OvS variant with the exact-match cache disabled
+// (the other_config:emc-insert-inv-prob=0 ablation).
+var registerNoEMC = sync.OnceFunc(func() {
+	info, _ := switchdef.Lookup("ovs")
+	info.Name = "ovs-noemc"
+	info.Display = "OvS-DPDK (EMC off)"
+	Register(info, func(env Env) Switch {
+		sw := ovs.New(env)
+		sw.SetEMC(false)
+		return sw
+	})
+})
+
+func mustRun(b *testing.B, cfg Config) Result {
+	b.Helper()
+	if cfg.Duration == 0 {
+		cfg.Duration = 3 * units.Millisecond
+		cfg.Warmup = 2 * units.Millisecond
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkAblationEMC compares OvS single-flow p2p with the EMC enabled
+// and disabled: with one flow the EMC hides the megaflow tier entirely.
+func BenchmarkAblationEMC(b *testing.B) {
+	registerNoEMC()
+	for i := 0; i < b.N; i++ {
+		on := mustRun(b, Config{Switch: "ovs", Scenario: P2P})
+		off := mustRun(b, Config{Switch: "ovs-noemc", Scenario: P2P})
+		if i == b.N-1 {
+			b.ReportMetric(on.Gbps, "emc_on_Gbps")
+			b.ReportMetric(off.Gbps, "emc_off_Gbps")
+		}
+	}
+}
+
+// BenchmarkAblationFlows sweeps the flow count: the paper's single-flow
+// traffic is the EMC's best case; tens of thousands of flows thrash it.
+func BenchmarkAblationFlows(b *testing.B) {
+	for _, flows := range []int{1, 128, 8192, 40000} {
+		b.Run(fmt.Sprintf("flows=%d", flows), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, Config{Switch: "ovs", Scenario: P2P, Flows: flows})
+				if i == b.N-1 {
+					b.ReportMetric(res.Gbps, "Gbps")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationMultiCore sweeps SUT cores for the CPU-limited switches
+// (bidirectional p2p; two ports shard over at most two cores).
+func BenchmarkAblationMultiCore(b *testing.B) {
+	for _, name := range []string{"ovs", "t4p4s", "vpp"} {
+		for _, cores := range []int{1, 2} {
+			b.Run(fmt.Sprintf("%s/cores=%d", name, cores), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res := mustRun(b, Config{Switch: name, Scenario: P2P, Bidir: true, SUTCores: cores})
+					if i == b.N-1 {
+						b.ReportMetric(res.Gbps, "Gbps")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationContainers compares VM-hosted and container-hosted VNF
+// chains.
+func BenchmarkAblationContainers(b *testing.B) {
+	for _, containers := range []bool{false, true} {
+		label := "vms"
+		if containers {
+			label = "containers"
+		}
+		b.Run(label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := mustRun(b, Config{Switch: "vpp", Scenario: Loopback, Chain: 3, Containers: containers})
+				if i == b.N-1 {
+					b.ReportMetric(res.Gbps, "Gbps")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNDRvsRPlus runs both rate-finding methodologies on a
+// stable and an unstable switch.
+func BenchmarkAblationNDRvsRPlus(b *testing.B) {
+	for _, name := range []string{"vpp", "t4p4s"} {
+		b.Run(name, func(b *testing.B) {
+			cfg := Config{Switch: name, Scenario: P2P,
+				Duration: 3 * units.Millisecond, Warmup: 2 * units.Millisecond}
+			for i := 0; i < b.N; i++ {
+				rp, err := EstimateRPlus(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ndr, err := FindNDR(cfg, NDROptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == b.N-1 {
+					b.ReportMetric(rp/1e6, "rplus_Mpps")
+					b.ReportMetric(ndr.PPS/1e6, "ndr_Mpps")
+				}
+			}
+		})
+	}
+}

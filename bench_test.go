@@ -1,0 +1,254 @@
+package swbench
+
+// One benchmark per table and figure of the paper's evaluation section.
+// Each regenerates the corresponding experiment on the simulated testbed
+// and reports the headline series as custom benchmark metrics, so
+// `go test -bench .` reproduces the whole evaluation. The -short windows
+// (Quick) are used so a full sweep stays tractable; EXPERIMENTS.md records
+// a Full run.
+//
+// Additionally, BenchmarkDataPlane* measure the real execution speed of
+// each switch's Go data plane (simulated-packets forwarded per wall-clock
+// second), and BenchmarkSim* the discrete-event engine itself.
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/switches/switchtest"
+	"repro/internal/units"
+)
+
+func benchOpts(b *testing.B) RunOpts {
+	b.Helper()
+	if testing.Short() {
+		return RunOpts{Duration: 2 * units.Millisecond, Warmup: units.Millisecond}
+	}
+	return Quick
+}
+
+// metricName flattens a point into a benchmark metric label.
+func metricName(pt ThroughputPoint, withChain bool) string {
+	dir := "uni"
+	if pt.Bidir {
+		dir = "bidir"
+	}
+	if withChain {
+		return fmt.Sprintf("%s_%dB_n%d_Gbps", pt.Switch, pt.FrameLen, pt.Chain)
+	}
+	return fmt.Sprintf("%s_%dB_%s_Gbps", pt.Switch, pt.FrameLen, dir)
+}
+
+func benchFigure(b *testing.B, f func(RunOpts) (*Figure, error), withChain bool) {
+	b.Helper()
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		fig, err := f(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, pt := range fig.Pts {
+				if pt.Unsupported {
+					continue
+				}
+				// Report the stressful 64B series as metrics.
+				if pt.FrameLen == 64 {
+					b.ReportMetric(pt.Gbps, metricName(pt, withChain))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure1 regenerates the opening scatter (bidir p2p 64B
+// throughput vs RTT at 0.95·R⁺).
+func BenchmarkFigure1(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		pts, err := Figure1(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, p := range pts {
+				b.ReportMetric(p.Gbps, p.Switch+"_Gbps")
+				b.ReportMetric(p.MeanUs, p.Switch+"_rtt_us")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4a regenerates p2p throughput (uni+bidir × sizes).
+func BenchmarkFigure4a(b *testing.B) { benchFigure(b, Figure4a, false) }
+
+// BenchmarkFigure4b regenerates p2v throughput.
+func BenchmarkFigure4b(b *testing.B) { benchFigure(b, Figure4b, false) }
+
+// BenchmarkFigure4c regenerates v2v throughput.
+func BenchmarkFigure4c(b *testing.B) { benchFigure(b, Figure4c, false) }
+
+// BenchmarkFigure5 regenerates unidirectional loopback chains (1–5 VNFs).
+func BenchmarkFigure5(b *testing.B) { benchFigure(b, Figure5, true) }
+
+// BenchmarkFigure6 regenerates bidirectional loopback chains.
+func BenchmarkFigure6(b *testing.B) { benchFigure(b, Figure6, true) }
+
+// BenchmarkTable3 regenerates the RTT table (p2p + 1–4 VNF loopback at
+// 0.10/0.50/0.99·R⁺). The 0.50·R⁺ column is reported as metrics.
+func BenchmarkTable3(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		cells, err := Table3(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, c := range cells {
+				if c.Unsupported {
+					continue
+				}
+				label := strings.ReplaceAll(c.Scenario, " ", "_")
+				b.ReportMetric(c.MeanUs[1], c.Switch+"_"+label+"_us")
+			}
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the v2v latency table (1 Mpps, software
+// timestamps).
+func BenchmarkTable4(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := Table4(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(r.MeanUs, r.Switch+"_us")
+			}
+		}
+	}
+}
+
+// BenchmarkDataPlane measures the wall-clock speed of each switch's Go
+// data plane: one 64B frame through a cross-connect per iteration (fake
+// ports, no simulation engine).
+func BenchmarkDataPlane(b *testing.B) {
+	for _, name := range Switches() {
+		b.Run(name, func(b *testing.B) {
+			env := switchtest.Env()
+			sw, err := switchdef.New(name, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := switchtest.NewFakePort("in")
+			out := switchtest.NewFakePort("out")
+			sw.AddPort(in)
+			sw.AddPort(out)
+			if err := sw.CrossConnect(0, 1); err != nil {
+				b.Fatal(err)
+			}
+			m := switchtest.Meter(env)
+			src := switchdef.PortMAC(0)
+			dst := switchdef.PortMAC(1)
+			proto := switchtest.Frame(env.Pool, src, dst, 64)
+			now := units.Time(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f := env.Pool.Clone(proto)
+				in.In = append(in.In, f)
+				for sw.Poll(now, m) {
+					now += m.Drain() + 100*units.Microsecond
+				}
+				now += m.Drain() + 100*units.Microsecond
+				for _, buf := range out.Out {
+					buf.Free()
+				}
+				out.Out = out.Out[:0]
+			}
+		})
+	}
+}
+
+// BenchmarkRun measures a full p2p measurement run end to end (scheduler,
+// NICs, generator, SUT) per simulated millisecond.
+func BenchmarkRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{
+			Switch:   "vpp",
+			Scenario: P2P,
+			Duration: units.Millisecond,
+			Warmup:   units.Millisecond / 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRPlusEstimation measures the §5.3 R⁺ estimation procedure.
+func BenchmarkRPlusEstimation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := EstimateRPlus(Config{
+			Switch: "ovs", Scenario: P2P,
+			Duration: units.Millisecond, Warmup: units.Millisecond / 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkChainScaling sweeps loopback chain lengths for one switch,
+// reporting Gbps per length (an ablation of the per-hop vhost tax).
+func BenchmarkChainScaling(b *testing.B) {
+	o := benchOpts(b)
+	for i := 0; i < b.N; i++ {
+		for chain := 1; chain <= 5; chain++ {
+			res, err := core.Run(Config{
+				Switch: "vpp", Scenario: Loopback, Chain: chain,
+				Duration: o.Duration, Warmup: o.Warmup,
+			})
+			if err != nil && !errors.Is(err, ErrChainTooLong) {
+				b.Fatal(err)
+			}
+			if i == b.N-1 {
+				b.ReportMetric(res.Gbps, fmt.Sprintf("n%d_Gbps", chain))
+			}
+		}
+	}
+}
+
+// BenchmarkHeaderCodec measures the from-scratch header parse/serialize
+// path (the per-packet work every match/action switch performs).
+func BenchmarkHeaderCodec(b *testing.B) {
+	pool := pkt.NewPool(2048)
+	f := pool.Get(64)
+	pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000, FrameLen: 64,
+	}.Build(f)
+	data := f.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eth, err := pkt.ParseEth(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ip, err := pkt.ParseIPv4(data[pkt.EthHdrLen:])
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = eth
+		_ = ip
+	}
+}

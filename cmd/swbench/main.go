@@ -1,0 +1,373 @@
+// Command swbench runs the paper's benchmarking methodology from the
+// command line.
+//
+// Usage:
+//
+//	swbench list                         # switches + taxonomy
+//	swbench run -switch vpp -scenario p2p [-size 64] [-bidir] [-chain N]
+//	            [-rate-gbps 5] [-latency] [-duration-ms 20]
+//	swbench rplus -switch vpp -scenario loopback -chain 2
+//	swbench figure 1|4a|4b|4c|5|6 [-quick] [-compare]
+//	swbench table 1|2|3|4|5 [-quick] [-compare]
+//	swbench all [-quick] [-compare]     # every figure and table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	swbench "repro"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: swbench <list|run|rplus|figure|table|all> [flags]")
+	fmt.Fprintln(os.Stderr, "  swbench list")
+	fmt.Fprintln(os.Stderr, "  swbench run -switch vpp -scenario p2p|p2v|v2v|loopback [-size N] [-bidir] [-chain N] [-rate-gbps G] [-latency]")
+	fmt.Fprintln(os.Stderr, "  swbench rplus -switch vpp -scenario p2p")
+	fmt.Fprintln(os.Stderr, "  swbench ndr -switch vpp -scenario p2p [-loss-tolerance N]")
+	fmt.Fprintln(os.Stderr, "  swbench windows -switch snabb -n 10      # windowed time series")
+	fmt.Fprintln(os.Stderr, "  swbench figure 1|4a|4b|4c|5|6 [-quick] [-compare]")
+	fmt.Fprintln(os.Stderr, "  swbench table 1|2|3|4|5 [-quick] [-compare]")
+	fmt.Fprintln(os.Stderr, "  swbench all [-quick] [-compare]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		swbench.RenderTable1(os.Stdout)
+	case "run":
+		err = runCmd(os.Args[2:])
+	case "rplus":
+		err = rplusCmd(os.Args[2:])
+	case "ndr":
+		err = ndrCmd(os.Args[2:])
+	case "windows":
+		err = windowsCmd(os.Args[2:])
+	case "figure":
+		err = figureCmd(os.Args[2:])
+	case "table":
+		err = tableCmd(os.Args[2:])
+	case "all":
+		err = allCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swbench:", err)
+		os.Exit(1)
+	}
+}
+
+func parseScenario(s string) (swbench.ScenarioKind, error) {
+	switch strings.ToLower(s) {
+	case "p2p":
+		return swbench.P2P, nil
+	case "p2v":
+		return swbench.P2V, nil
+	case "v2v":
+		return swbench.V2V, nil
+	case "loopback":
+		return swbench.Loopback, nil
+	}
+	return 0, fmt.Errorf("unknown scenario %q (want p2p, p2v, v2v, loopback)", s)
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	cfg := swbench.Config{}
+	fs.StringVar(&cfg.Switch, "switch", "vpp", "switch under test")
+	scenario := fs.String("scenario", "p2p", "p2p, p2v, v2v, or loopback")
+	fs.IntVar(&cfg.FrameLen, "size", 64, "frame length in bytes")
+	fs.BoolVar(&cfg.Bidir, "bidir", false, "bidirectional traffic")
+	fs.IntVar(&cfg.Chain, "chain", 1, "loopback VNF chain length")
+	fs.BoolVar(&cfg.Reversed, "reversed", false, "p2v only: measure the VM-to-NIC direction")
+	rate := fs.Float64("rate-gbps", 0, "offered load per direction in Gbps (0 = saturate)")
+	latency := fs.Bool("latency", false, "inject latency probes")
+	durationMs := fs.Float64("duration-ms", 20, "measurement window (simulated ms)")
+	seed := fs.Uint64("seed", 1, "simulation seed")
+	fs.IntVar(&cfg.SUTCores, "cores", 1, "SUT cores (RSS port sharding; poll-mode switches)")
+	fs.IntVar(&cfg.Flows, "flows", 1, "number of synthetic flows")
+	fs.BoolVar(&cfg.Containers, "containers", false, "host VNFs in containers instead of VMs")
+	fs.StringVar(&cfg.CapturePath, "pcap", "", "dump delivered frames to this pcap file")
+	fs.BoolVar(&cfg.IMIX, "imix", false, "classic IMIX frame-size mix instead of -size")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scn, err := parseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	cfg.Scenario = scn
+	cfg.Rate = swbench.BitRate(*rate * 1e9)
+	cfg.Duration = swbench.Time(*durationMs * float64(swbench.Millisecond))
+	cfg.Seed = *seed
+	if *latency {
+		cfg.ProbeEvery = 20 * swbench.Microsecond
+	}
+	res, err := swbench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	swbench.RenderResult(os.Stdout, res)
+	return nil
+}
+
+func rplusCmd(args []string) error {
+	fs := flag.NewFlagSet("rplus", flag.ExitOnError)
+	cfg := swbench.Config{}
+	fs.StringVar(&cfg.Switch, "switch", "vpp", "switch under test")
+	scenario := fs.String("scenario", "p2p", "p2p, p2v, v2v, or loopback")
+	fs.IntVar(&cfg.FrameLen, "size", 64, "frame length in bytes")
+	fs.IntVar(&cfg.Chain, "chain", 1, "loopback VNF chain length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scn, err := parseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	cfg.Scenario = scn
+	rp, err := swbench.EstimateRPlus(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("R+ = %.3f Mpps\n", rp/1e6)
+	return nil
+}
+
+func suiteFlags(fs *flag.FlagSet) (*bool, *bool) {
+	quick := fs.Bool("quick", false, "short simulation windows")
+	compare := fs.Bool("compare", false, "show the paper's values alongside")
+	return quick, compare
+}
+
+func opts(quick bool) swbench.RunOpts {
+	if quick {
+		return swbench.Quick
+	}
+	return swbench.Full
+}
+
+func figureCmd(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("figure needs an id: 1, 4a, 4b, 4c, 5, 6")
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("figure", flag.ExitOnError)
+	quick, compare := suiteFlags(fs)
+	csvPath := fs.String("csv", "", "also write the figure data as CSV to this path")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *csvPath != "" {
+		return figureCSV(id, opts(*quick), *csvPath)
+	}
+	return renderFigure(id, opts(*quick), *compare)
+}
+
+func figureCSV(id string, o swbench.RunOpts, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if id == "1" {
+		pts, err := swbench.Figure1(o)
+		if err != nil {
+			return err
+		}
+		return swbench.WriteFigure1CSV(f, pts)
+	}
+	var fig *swbench.Figure
+	switch id {
+	case "4a":
+		fig, err = swbench.Figure4a(o)
+	case "4b":
+		fig, err = swbench.Figure4b(o)
+	case "4c":
+		fig, err = swbench.Figure4c(o)
+	case "5":
+		fig, err = swbench.Figure5(o)
+	case "6":
+		fig, err = swbench.Figure6(o)
+	default:
+		return fmt.Errorf("unknown figure %q", id)
+	}
+	if err != nil {
+		return err
+	}
+	return swbench.WriteFigureCSV(f, fig)
+}
+
+func windowsCmd(args []string) error {
+	fs := flag.NewFlagSet("windows", flag.ExitOnError)
+	cfg := swbench.Config{}
+	fs.StringVar(&cfg.Switch, "switch", "snabb", "switch under test")
+	scenario := fs.String("scenario", "p2p", "p2p, p2v, v2v, or loopback")
+	fs.IntVar(&cfg.FrameLen, "size", 64, "frame length in bytes")
+	fs.IntVar(&cfg.Chain, "chain", 1, "loopback VNF chain length")
+	n := fs.Int("n", 10, "number of windows")
+	durationMs := fs.Float64("duration-ms", 10, "total measured span (simulated ms)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scn, err := parseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	cfg.Scenario = scn
+	cfg.Warmup = swbench.Microsecond // expose the transient
+	cfg.Duration = swbench.Time(*durationMs * float64(swbench.Millisecond))
+	pts, res, err := swbench.RunWindows(cfg, *n)
+	if err != nil {
+		return err
+	}
+	for _, p := range pts {
+		fmt.Printf("  t=%8.1fus  %6.2f Gbps  %6.2f Mpps\n", p.Start.Microseconds(), p.Gbps, p.Mpps)
+	}
+	fmt.Printf("aggregate: %.2f Gbps\n", res.Gbps)
+	return nil
+}
+
+func renderFigure(id string, o swbench.RunOpts, compare bool) error {
+	switch id {
+	case "1":
+		pts, err := swbench.Figure1(o)
+		if err != nil {
+			return err
+		}
+		swbench.RenderFigure1(os.Stdout, pts)
+		return nil
+	case "4a", "4b", "4c", "5", "6":
+		var fig *swbench.Figure
+		var err error
+		switch id {
+		case "4a":
+			fig, err = swbench.Figure4a(o)
+		case "4b":
+			fig, err = swbench.Figure4b(o)
+		case "4c":
+			fig, err = swbench.Figure4c(o)
+		case "5":
+			fig, err = swbench.Figure5(o)
+		case "6":
+			fig, err = swbench.Figure6(o)
+		}
+		if err != nil {
+			return err
+		}
+		swbench.RenderFigure(os.Stdout, fig, compare)
+		return nil
+	}
+	return fmt.Errorf("unknown figure %q", id)
+}
+
+func tableCmd(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("table needs an id: 1, 2, 3, 4, 5")
+	}
+	id := args[0]
+	fs := flag.NewFlagSet("table", flag.ExitOnError)
+	quick, compare := suiteFlags(fs)
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	return renderTable(id, opts(*quick), *compare)
+}
+
+func renderTable(id string, o swbench.RunOpts, compare bool) error {
+	switch id {
+	case "1":
+		swbench.RenderTable1(os.Stdout)
+	case "2":
+		swbench.RenderTable2(os.Stdout)
+	case "3":
+		cells, err := swbench.Table3(o)
+		if err != nil {
+			return err
+		}
+		swbench.RenderTable3(os.Stdout, cells, compare)
+	case "4":
+		rows, err := swbench.Table4(o)
+		if err != nil {
+			return err
+		}
+		swbench.RenderTable4(os.Stdout, rows, compare)
+	case "5":
+		swbench.RenderTable5(os.Stdout)
+	default:
+		return fmt.Errorf("unknown table %q", id)
+	}
+	return nil
+}
+
+func allCmd(args []string) error {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	quick, compare := suiteFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	o := opts(*quick)
+	for _, id := range []string{"1", "2"} {
+		if err := renderTable(id, o, *compare); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	for _, id := range []string{"1", "4a", "4b", "4c", "5", "6"} {
+		if err := renderFigure(id, o, *compare); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	for _, id := range []string{"3", "4", "5"} {
+		if err := renderTable(id, o, *compare); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func ndrCmd(args []string) error {
+	fs := flag.NewFlagSet("ndr", flag.ExitOnError)
+	cfg := swbench.Config{}
+	fs.StringVar(&cfg.Switch, "switch", "vpp", "switch under test")
+	scenario := fs.String("scenario", "p2p", "p2p, p2v, v2v, or loopback")
+	fs.IntVar(&cfg.FrameLen, "size", 64, "frame length in bytes")
+	fs.IntVar(&cfg.Chain, "chain", 1, "loopback VNF chain length")
+	tol := fs.Int64("loss-tolerance", 0, "frames of loss allowed per trial (RFC 2544 uses 0)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scn, err := parseScenario(*scenario)
+	if err != nil {
+		return err
+	}
+	cfg.Scenario = scn
+	res, err := swbench.FindNDR(cfg, swbench.NDROptions{LossTolerance: *tol})
+	if err != nil {
+		return err
+	}
+	for _, tr := range res.Trials {
+		verdict := "FAIL"
+		if tr.Passed {
+			verdict = "pass"
+		}
+		fmt.Printf("  trial %8.3f Mpps  lost=%-6d %s\n", tr.PPS/1e6, tr.Lost, verdict)
+	}
+	fmt.Printf("NDR = %.3f Mpps\n", res.PPS/1e6)
+	rp, err := swbench.EstimateRPlus(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("R+  = %.3f Mpps (the paper's methodology)\n", rp/1e6)
+	return nil
+}

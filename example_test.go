@@ -1,0 +1,66 @@
+package swbench_test
+
+import (
+	"fmt"
+
+	swbench "repro"
+)
+
+// The simulation is deterministic, so these examples assert exact output.
+
+func ExampleRun() {
+	res, err := swbench.Run(swbench.Config{
+		Switch:   "bess",
+		Scenario: swbench.P2P,
+		FrameLen: 64,
+		Duration: 4 * swbench.Millisecond,
+		Warmup:   2 * swbench.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s forwards %.2f Gbps (%.2f Mpps)\n", res.Display, res.Gbps, res.Mpps)
+	// Output: BESS forwards 10.00 Gbps (14.88 Mpps)
+}
+
+func ExampleEstimateRPlus() {
+	rp, err := swbench.EstimateRPlus(swbench.Config{
+		Switch:   "ovs",
+		Scenario: swbench.P2P,
+		Duration: 4 * swbench.Millisecond,
+		Warmup:   2 * swbench.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("OvS-DPDK R+ is %.1f Mpps at 64B\n", rp/1e6)
+	// Output: OvS-DPDK R+ is 11.8 Mpps at 64B
+}
+
+func ExampleInfo() {
+	info, err := swbench.Info("vale")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(info.Display, "—", info.MainPurpose)
+	fmt.Println("virtual interface:", info.VirtualIface)
+	// Output:
+	// VALE — Virtual L2 Ethernet
+	// virtual interface: ptnet
+}
+
+func ExampleRun_serviceChain() {
+	res, err := swbench.Run(swbench.Config{
+		Switch:   "vale",
+		Scenario: swbench.Loopback,
+		Chain:    3,
+		FrameLen: 1024,
+		Duration: 4 * swbench.Millisecond,
+		Warmup:   2 * swbench.Millisecond,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("VALE, 3-VNF chain, 1024B: %.1f Gbps\n", res.Gbps)
+	// Output: VALE, 3-VNF chain, 1024B: 9.3 Gbps
+}

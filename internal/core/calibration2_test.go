@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestCalibrationSizes prints throughput across frame sizes (Fig. 4 shape).
+func TestCalibrationSizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	run := func(cfg Config) float64 {
+		cfg.Duration = 5 * units.Millisecond
+		cfg.Warmup = 3 * units.Millisecond
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		return res.Gbps
+	}
+	fmt.Printf("%-10s %9s %9s %9s %9s %9s %9s\n", "switch", "p2pb-256", "p2pb-1024", "v2vu-256", "v2vu-1024", "v2vb-1024", "p2vu-256")
+	for _, name := range allSwitches {
+		fmt.Printf("%-10s %9.2f %9.2f %9.2f %9.2f %9.2f %9.2f\n", name,
+			run(Config{Switch: name, Scenario: P2P, Bidir: true, FrameLen: 256}),
+			run(Config{Switch: name, Scenario: P2P, Bidir: true, FrameLen: 1024}),
+			run(Config{Switch: name, Scenario: V2V, FrameLen: 256}),
+			run(Config{Switch: name, Scenario: V2V, FrameLen: 1024}),
+			run(Config{Switch: name, Scenario: V2V, Bidir: true, FrameLen: 1024}),
+			run(Config{Switch: name, Scenario: P2V, FrameLen: 256}),
+		)
+	}
+}
+
+// TestCalibrationLoopback prints the chain-length sweep (Fig. 5 shape).
+func TestCalibrationLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	run := func(cfg Config) string {
+		cfg.Duration = 5 * units.Millisecond
+		cfg.Warmup = 3 * units.Millisecond
+		res, err := Run(cfg)
+		if errors.Is(err, ErrChainTooLong) {
+			return "     -"
+		}
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		return fmt.Sprintf("%6.2f", res.Gbps)
+	}
+	for _, size := range []int{64, 1024} {
+		fmt.Printf("loopback uni %dB:\n%-10s %6s %6s %6s %6s %6s\n", size, "switch", "n=1", "n=2", "n=3", "n=4", "n=5")
+		for _, name := range allSwitches {
+			row := fmt.Sprintf("%-10s", name)
+			for n := 1; n <= 5; n++ {
+				row += " " + run(Config{Switch: name, Scenario: Loopback, Chain: n, FrameLen: size})
+			}
+			fmt.Println(row)
+		}
+	}
+}

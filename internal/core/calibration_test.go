@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+var allSwitches = []string{"bess", "fastclick", "vpp", "snabb", "ovs", "vale", "t4p4s"}
+
+// TestCalibrationMatrix prints the 64B throughput matrix used to fit the
+// per-switch cost constants to the paper's Fig. 4. Run with -v.
+func TestCalibrationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration matrix is slow")
+	}
+	run := func(cfg Config) float64 {
+		cfg.Duration = 5 * units.Millisecond
+		cfg.Warmup = 3 * units.Millisecond
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		return res.Gbps
+	}
+	fmt.Printf("%-10s %8s %8s %8s %8s %8s %8s\n", "switch", "p2p-u", "p2p-b", "p2v-u", "p2v-b", "v2v-u", "v2v-b")
+	for _, name := range allSwitches {
+		fmt.Printf("%-10s %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n", name,
+			run(Config{Switch: name, Scenario: P2P}),
+			run(Config{Switch: name, Scenario: P2P, Bidir: true}),
+			run(Config{Switch: name, Scenario: P2V}),
+			run(Config{Switch: name, Scenario: P2V, Bidir: true}),
+			run(Config{Switch: name, Scenario: V2V}),
+			run(Config{Switch: name, Scenario: V2V, Bidir: true}),
+		)
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pcap"
+	"repro/internal/pkt"
+	"repro/internal/units"
+)
+
+func TestCaptureWritesReadablePcap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p2p.pcap")
+	res, err := Run(Config{
+		Switch: "vpp", Scenario: P2P,
+		Rate:        units.Gbps,
+		Duration:    units.Millisecond,
+		Warmup:      units.Millisecond,
+		CapturePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := pcap.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup + window traffic, all 64B Ethernet frames parseable.
+	if int64(len(recs)) < res.Dirs[0].RxPackets {
+		t.Fatalf("captured %d < delivered %d", len(recs), res.Dirs[0].RxPackets)
+	}
+	for _, r := range recs[:10] {
+		if len(r.Data) != 64 {
+			t.Fatalf("frame length %d", len(r.Data))
+		}
+		if _, err := pkt.ParseEth(r.Data); err != nil {
+			t.Fatalf("unparseable frame: %v", err)
+		}
+	}
+}
+
+func TestCaptureV2VUsesGuestMonitor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2v.pcap")
+	_, err := Run(Config{
+		Switch: "ovs", Scenario: V2V,
+		Rate:        units.Gbps,
+		Duration:    units.Millisecond,
+		Warmup:      units.Millisecond,
+		CapturePath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := pcap.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("empty capture")
+	}
+}

@@ -1,0 +1,187 @@
+// Package core implements the paper's benchmarking methodology: the four
+// test scenarios (p2p, p2v, v2v, loopback), testbed assembly mirroring the
+// paper's two-NUMA-node server (Fig. 3), saturated-throughput and
+// rate-controlled latency measurement, R⁺ estimation, and the experiment
+// definitions that regenerate every figure and table.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// ScenarioKind selects one of the paper's four test scenarios (Fig. 2).
+type ScenarioKind int
+
+// The four scenarios.
+const (
+	P2P      ScenarioKind = iota // physical → physical
+	P2V                          // physical → virtual
+	V2V                          // virtual → virtual
+	Loopback                     // NIC → VNF chain → NIC
+)
+
+// String implements fmt.Stringer.
+func (k ScenarioKind) String() string {
+	switch k {
+	case P2P:
+		return "p2p"
+	case P2V:
+		return "p2v"
+	case V2V:
+		return "v2v"
+	case Loopback:
+		return "loopback"
+	default:
+		return fmt.Sprintf("ScenarioKind(%d)", int(k))
+	}
+}
+
+// Config describes one measurement run.
+type Config struct {
+	// Switch is the registry name of the SUT ("bess", "fastclick",
+	// "ovs", "snabb", "t4p4s", "vale", "vpp").
+	Switch string
+	// Scenario picks the topology.
+	Scenario ScenarioKind
+	// Chain is the loopback VNF count (default 1; loopback only).
+	Chain int
+	// FrameLen is the synthetic frame size in bytes (default 64).
+	FrameLen int
+	// IMIX replaces the fixed frame size with the classic Internet mix
+	// (7×64B : 4×570B : 1×1518B, ≈340B average — cf. the paper's remark
+	// that realistic traffic averages ~850B and is easy for every
+	// switch). FrameLen is ignored for generation but still bounds
+	// probe frames.
+	IMIX bool
+	// Bidir drives traffic in both directions simultaneously.
+	Bidir bool
+	// Reversed measures the p2v VM→NIC direction instead (the paper's
+	// "reversed unidirectional" probe of VPP's vhost RX penalty).
+	Reversed bool
+	// Rate is the offered load per direction; 0 saturates.
+	Rate units.BitRate
+	// Flows spreads the synthetic traffic over this many flows (distinct
+	// source MAC and UDP source port). The paper uses a single flow
+	// ("identical packets, corresponding to a single flow"); higher
+	// values stress flow caches and learning tables (ablations).
+	Flows int
+	// ProbeEvery injects latency probes at this interval (0 = none).
+	ProbeEvery units.Time
+	// LatencyTopology selects the v2v latency wiring (two interfaces per
+	// VM with an l2fwd reflector, §5.3) instead of the v2v throughput
+	// wiring.
+	LatencyTopology bool
+
+	// Containers hosts the VNFs in containers instead of QEMU VMs (the
+	// paper's second future-work item): cheaper virtio crossings and
+	// notifications, and no QEMU-specific constraints (BESS's chain cap
+	// is a QEMU incompatibility and does not apply).
+	Containers bool
+
+	// SUTCores runs the switch data plane on several cores with its
+	// receive ports sharded RSS-style (default 1 — the paper's
+	// methodology; >1 implements the paper's "multi-core solutions"
+	// future work for poll-mode switches).
+	SUTCores int
+
+	// Duration is the measurement window (default 20 ms simulated).
+	Duration units.Time
+	// Warmup precedes the window (default 4 ms; also covers Snabb's JIT
+	// warmup region).
+	Warmup units.Time
+	// Seed drives all randomness (default 1).
+	Seed uint64
+	// CapturePath, when set, dumps every frame delivered to the first
+	// measurement endpoint into a pcap file (tcpdump/Wireshark-readable).
+	CapturePath string
+}
+
+// withDefaults returns cfg with defaults applied.
+func (cfg Config) withDefaults() Config {
+	if cfg.FrameLen == 0 {
+		cfg.FrameLen = 64
+	}
+	if cfg.Chain == 0 {
+		cfg.Chain = 1
+	}
+	if cfg.Duration == 0 {
+		cfg.Duration = 20 * units.Millisecond
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = 4 * units.Millisecond
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.SUTCores == 0 {
+		cfg.SUTCores = 1
+	}
+	return cfg
+}
+
+// Validate reports configuration errors without running anything.
+func (cfg Config) Validate() error {
+	c := cfg.withDefaults()
+	if c.FrameLen < 64 || c.FrameLen > units.MaxFrameBytes {
+		return fmt.Errorf("core: frame length %d outside [64, %d]", c.FrameLen, units.MaxFrameBytes)
+	}
+	if c.Scenario == Loopback && c.Chain < 1 {
+		return errors.New("core: loopback needs a chain of at least 1 VNF")
+	}
+	if c.Reversed && c.Scenario != P2V {
+		return errors.New("core: Reversed applies to p2v only")
+	}
+	if c.LatencyTopology && c.Scenario != V2V {
+		return errors.New("core: LatencyTopology applies to v2v only")
+	}
+	if c.SUTCores < 1 {
+		return errors.New("core: SUTCores must be at least 1")
+	}
+	return nil
+}
+
+// ErrChainTooLong reports a switch-specific VM-count limit (BESS's QEMU
+// incompatibility, paper footnote 5). Experiments render it as "-".
+var ErrChainTooLong = errors.New("core: switch cannot host this many VMs (QEMU incompatibility)")
+
+// DirResult is per-direction throughput.
+type DirResult struct {
+	// RxPackets/RxBytes were delivered to the direction's measurement
+	// endpoint during the window.
+	RxPackets int64
+	RxBytes   int64
+	// Gbps is wire throughput (frame + preamble/IFG bits, the paper's
+	// convention); Mpps is the packet rate.
+	Gbps float64
+	Mpps float64
+}
+
+// Result is one run's measurements.
+type Result struct {
+	Config  Config
+	Display string // switch display name
+
+	// Dirs holds one entry per traffic direction (1 or 2).
+	Dirs []DirResult
+	// Gbps and Mpps aggregate all directions (the paper's bidirectional
+	// plots report aggregated throughput).
+	Gbps float64
+	Mpps float64
+	// OfferedGbps is the total offered load.
+	OfferedGbps float64
+
+	// Latency summarizes probe RTTs (zero-valued when no probes ran).
+	Latency stats.Summary
+
+	// SUTBusyFrac is the fraction of SUT core cycles doing useful work
+	// (averaged over cores in multi-core runs).
+	SUTBusyFrac float64
+	// Drops counts frames lost anywhere in the data path.
+	Drops int64
+	// Steps is the scheduler step count (determinism fingerprint).
+	Steps uint64
+}

@@ -1,0 +1,96 @@
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// CSV exports, for plotting the reproduced figures with external tools.
+
+// WriteFigureCSV emits a throughput figure as CSV with the columns
+// switch,scenario,chain,bidir,frame_bytes,gbps,mpps,unsupported.
+func WriteFigureCSV(w io.Writer, fig *Figure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"switch", "scenario", "chain", "bidir", "frame_bytes", "gbps", "mpps", "unsupported"}); err != nil {
+		return err
+	}
+	for _, pt := range fig.Pts {
+		rec := []string{
+			pt.Switch,
+			fig.Scenario.String(),
+			fmt.Sprint(pt.Chain),
+			fmt.Sprint(pt.Bidir),
+			fmt.Sprint(pt.FrameLen),
+			fmt.Sprintf("%.4f", pt.Gbps),
+			fmt.Sprintf("%.4f", pt.Mpps),
+			fmt.Sprint(pt.Unsupported),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFigure1CSV emits the scatter data with the columns
+// switch,gbps,mean_us,std_us.
+func WriteFigure1CSV(w io.Writer, pts []Figure1Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"switch", "gbps", "mean_us", "std_us"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{p.Switch,
+			fmt.Sprintf("%.4f", p.Gbps),
+			fmt.Sprintf("%.2f", p.MeanUs),
+			fmt.Sprintf("%.2f", p.StdUs)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV emits the latency table with the columns
+// switch,scenario,load,mean_us.
+func WriteTable3CSV(w io.Writer, cells []Table3Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"switch", "scenario", "load", "mean_us"}); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if c.Unsupported {
+			continue
+		}
+		for i, load := range Table3Loads {
+			if err := cw.Write([]string{c.Switch, c.Scenario,
+				fmt.Sprintf("%.2f", load),
+				fmt.Sprintf("%.2f", c.MeanUs[i])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteWindowsCSV emits a RunWindows series with the columns
+// start_us,gbps,mpps.
+func WriteWindowsCSV(w io.Writer, pts []WindowPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"start_us", "gbps", "mpps"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		if err := cw.Write([]string{
+			fmt.Sprintf("%.1f", p.Start.Microseconds()),
+			fmt.Sprintf("%.4f", p.Gbps),
+			fmt.Sprintf("%.4f", p.Mpps)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// DefaultProbeEvery spaces latency probes so a measurement window gathers
+// on the order of a thousand RTT samples.
+const DefaultProbeEvery = 20 * units.Microsecond
+
+// EstimateRPlus measures R⁺ — the paper's maximal forwarding rate, defined
+// (§5.3, following Linguaglossa et al.) as the average throughput achieved
+// under saturating input — in packets/second for the first direction.
+func EstimateRPlus(cfg Config) (float64, error) {
+	cfg.Rate = 0
+	cfg.ProbeEvery = 0
+	res, err := Run(cfg)
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Dirs) == 0 || res.Dirs[0].Mpps == 0 {
+		return 0, fmt.Errorf("core: no traffic delivered estimating R+ for %s/%v", cfg.Switch, cfg.Scenario)
+	}
+	return res.Dirs[0].Mpps * 1e6, nil
+}
+
+// LatencyPoint is one row cell of the paper's Table 3: mean RTT at a load
+// expressed as a fraction of R⁺.
+type LatencyPoint struct {
+	Load    float64 // fraction of R⁺
+	RPlus   float64 // packets/second
+	Summary stats.Summary
+}
+
+// MeasureLatencyAt measures RTT with offered load load·R⁺.
+func MeasureLatencyAt(cfg Config, rPlusPPS, load float64) (LatencyPoint, error) {
+	cfg.Rate = units.RateForPPS(rPlusPPS*load, cfg.withDefaults().FrameLen)
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = DefaultProbeEvery
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+	return LatencyPoint{Load: load, RPlus: rPlusPPS, Summary: res.Latency}, nil
+}
+
+// LatencyProfile runs the paper's 0.10/0.50/0.99·R⁺ ladder for one
+// scenario configuration.
+func LatencyProfile(cfg Config, loads []float64) ([]LatencyPoint, error) {
+	rp, err := EstimateRPlus(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LatencyPoint, 0, len(loads))
+	for _, l := range loads {
+		p, err := MeasureLatencyAt(cfg, rp, l)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Table3Loads are the paper's load levels.
+var Table3Loads = []float64{0.10, 0.50, 0.99}

@@ -1,0 +1,253 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// Switches lists the seven evaluated switches in the paper's plotting order.
+var Switches = []string{"bess", "fastclick", "vpp", "snabb", "ovs", "vale", "t4p4s"}
+
+// FrameSizes are the evaluated packet sizes (§5.2).
+var FrameSizes = []int{64, 256, 1024}
+
+// RunOpts sets the per-measurement simulation windows. The zero value uses
+// the defaults (20 ms window, 4 ms warmup); Quick shrinks runs for CI.
+type RunOpts struct {
+	Duration, Warmup units.Time
+	Seed             uint64
+}
+
+// Quick is a fast profile for tests and demos.
+var Quick = RunOpts{Duration: 4 * units.Millisecond, Warmup: 2 * units.Millisecond}
+
+// Full is the profile used for EXPERIMENTS.md numbers.
+var Full = RunOpts{Duration: 20 * units.Millisecond, Warmup: 4 * units.Millisecond}
+
+func (o RunOpts) apply(cfg Config) Config {
+	if o.Duration != 0 {
+		cfg.Duration = o.Duration
+	}
+	if o.Warmup != 0 {
+		cfg.Warmup = o.Warmup
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	return cfg
+}
+
+// ThroughputPoint is one bar of a throughput figure.
+type ThroughputPoint struct {
+	Switch   string
+	Display  string
+	FrameLen int
+	Chain    int // loopback only
+	Bidir    bool
+	Gbps     float64
+	Mpps     float64
+	// Unsupported marks configurations the switch cannot run (BESS with
+	// more than 3 VMs); the paper renders these as missing bars.
+	Unsupported bool
+}
+
+// Figure is a reproduced throughput figure: a series of points.
+type Figure struct {
+	ID       string
+	Title    string
+	Scenario ScenarioKind
+	Pts      []ThroughputPoint
+}
+
+func throughputFigure(id, title string, scn ScenarioKind, chains []int, dirs []bool, o RunOpts) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, Scenario: scn}
+	for _, chain := range chains {
+		for _, bidir := range dirs {
+			for _, size := range FrameSizes {
+				for _, name := range Switches {
+					pt, err := throughputPoint(o, Config{
+						Switch: name, Scenario: scn, Chain: chain,
+						FrameLen: size, Bidir: bidir,
+					})
+					if err != nil {
+						return nil, err
+					}
+					fig.Pts = append(fig.Pts, pt)
+				}
+			}
+		}
+	}
+	return fig, nil
+}
+
+var bothDirs = []bool{false, true}
+
+func throughputPoint(o RunOpts, cfg Config) (ThroughputPoint, error) {
+	info, err := switchdef.Lookup(cfg.Switch)
+	if err != nil {
+		return ThroughputPoint{}, err
+	}
+	pt := ThroughputPoint{
+		Switch: cfg.Switch, Display: info.Display,
+		FrameLen: cfg.FrameLen, Chain: cfg.Chain, Bidir: cfg.Bidir,
+	}
+	res, err := Run(o.apply(cfg))
+	if errors.Is(err, ErrChainTooLong) {
+		pt.Unsupported = true
+		return pt, nil
+	}
+	if err != nil {
+		return ThroughputPoint{}, err
+	}
+	pt.Gbps, pt.Mpps = res.Gbps, res.Mpps
+	return pt, nil
+}
+
+// Figure4a reproduces the p2p throughput figure (uni + bidir × frame sizes).
+func Figure4a(o RunOpts) (*Figure, error) {
+	return throughputFigure("4a", "Throughput in physical-to-physical (p2p)", P2P, []int{1}, bothDirs, o)
+}
+
+// Figure4b reproduces the p2v throughput figure.
+func Figure4b(o RunOpts) (*Figure, error) {
+	return throughputFigure("4b", "Throughput in physical-to-virtual (p2v)", P2V, []int{1}, bothDirs, o)
+}
+
+// Figure4c reproduces the v2v throughput figure.
+func Figure4c(o RunOpts) (*Figure, error) {
+	return throughputFigure("4c", "Throughput in virtual-to-virtual (v2v)", V2V, []int{1}, bothDirs, o)
+}
+
+// Chains is the loopback chain-length sweep (§5.2: 1 to 5 VNFs).
+var Chains = []int{1, 2, 3, 4, 5}
+
+// Figure5 reproduces the unidirectional loopback throughput figure.
+func Figure5(o RunOpts) (*Figure, error) {
+	return throughputFigure("5", "Unidirectional throughput of loopback", Loopback, Chains, []bool{false}, o)
+}
+
+// Figure6 reproduces the bidirectional loopback throughput figure.
+func Figure6(o RunOpts) (*Figure, error) {
+	return throughputFigure("6", "Bidirectional throughput of loopback", Loopback, Chains, []bool{true}, o)
+}
+
+// Figure1Point is one switch's dot on the paper's opening scatter plots:
+// bidirectional p2p 64B throughput vs. RTT at 0.95·R⁺.
+type Figure1Point struct {
+	Switch  string
+	Display string
+	Gbps    float64
+	MeanUs  float64
+	StdUs   float64
+}
+
+// Figure1 reproduces the scatter data of Fig. 1 (both panels share it).
+func Figure1(o RunOpts) ([]Figure1Point, error) {
+	var out []Figure1Point
+	for _, name := range Switches {
+		base := o.apply(Config{Switch: name, Scenario: P2P, FrameLen: 64, Bidir: true})
+		res, err := Run(base)
+		if err != nil {
+			return nil, err
+		}
+		// Latency at 95% of the measured bidirectional rate, per dir.
+		rp := res.Dirs[0].Mpps * 1e6
+		lat, err := MeasureLatencyAt(base, rp, 0.95)
+		if err != nil {
+			return nil, err
+		}
+		info, _ := switchdef.Lookup(name)
+		out = append(out, Figure1Point{
+			Switch: name, Display: info.Display,
+			Gbps:   res.Gbps,
+			MeanUs: lat.Summary.MeanUs,
+			StdUs:  lat.Summary.StdUs,
+		})
+	}
+	return out, nil
+}
+
+// Table3Scenarios are the latency scenarios of Table 3 in column order.
+type Table3Scenario struct {
+	Label string
+	Cfg   Config
+}
+
+// Table3Columns returns the p2p + 1..4-VNF loopback scenario set.
+func Table3Columns() []Table3Scenario {
+	cols := []Table3Scenario{{Label: "p2p", Cfg: Config{Scenario: P2P, FrameLen: 64}}}
+	for n := 1; n <= 4; n++ {
+		cols = append(cols, Table3Scenario{
+			Label: fmt.Sprintf("%d-VNF loopback", n),
+			Cfg:   Config{Scenario: Loopback, Chain: n, FrameLen: 64},
+		})
+	}
+	return cols
+}
+
+// Table3Cell is one (switch, scenario) group of Table 3: mean RTT at the
+// three loads.
+type Table3Cell struct {
+	Switch      string
+	Scenario    string
+	MeanUs      [3]float64 // at 0.10, 0.50, 0.99 · R⁺
+	Unsupported bool
+}
+
+// Table3 reproduces the RTT latency table.
+func Table3(o RunOpts) ([]Table3Cell, error) {
+	var out []Table3Cell
+	for _, name := range Switches {
+		for _, col := range Table3Columns() {
+			cfg := col.Cfg
+			cfg.Switch = name
+			cell := Table3Cell{Switch: name, Scenario: col.Label}
+			pts, err := LatencyProfile(o.apply(cfg), Table3Loads)
+			if errors.Is(err, ErrChainTooLong) {
+				cell.Unsupported = true
+				out = append(out, cell)
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			for i, p := range pts {
+				cell.MeanUs[i] = p.Summary.MeanUs
+			}
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// Table4Row is one switch's v2v RTT at 1 Mpps (software timestamping).
+type Table4Row struct {
+	Switch  string
+	Display string
+	MeanUs  float64
+	Summary stats.Summary
+}
+
+// Table4 reproduces the v2v latency table.
+func Table4(o RunOpts) ([]Table4Row, error) {
+	var out []Table4Row
+	for _, name := range Switches {
+		res, err := Run(o.apply(Config{
+			Switch: name, Scenario: V2V, LatencyTopology: true,
+			FrameLen:   64,
+			Rate:       units.RateForPPS(1e6, 64), // "672 Mbps (=1 Mpps)"
+			ProbeEvery: DefaultProbeEvery,
+		}))
+		if err != nil {
+			return nil, err
+		}
+		info, _ := switchdef.Lookup(name)
+		out = append(out, Table4Row{Switch: name, Display: info.Display,
+			MeanUs: res.Latency.MeanUs, Summary: res.Latency})
+	}
+	return out, nil
+}

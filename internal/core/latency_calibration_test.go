@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestCalibrationLatencyP2P prints the p2p section of Table 3.
+func TestCalibrationLatencyP2P(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fmt.Printf("p2p RTT us (paper: bess 4.0/4.6/6.4 fc 5.3/7.8/8.4 ovs 4.3/5.2/9.6 snabb 7.3/11.3/22 vpp 4.5/5.9/13.1 vale 32/34/59 t4p4s 32/31/174)\n")
+	for _, name := range allSwitches {
+		pts, err := LatencyProfile(Config{
+			Switch: name, Scenario: P2P,
+			Duration: 10 * units.Millisecond, Warmup: 3 * units.Millisecond,
+		}, Table3Loads)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-10s", name)
+		for _, p := range pts {
+			fmt.Printf("  %.2f: %7.1f (n=%d std=%.1f)", p.Load, p.Summary.MeanUs, p.Summary.N, p.Summary.StdUs)
+		}
+		fmt.Println()
+	}
+}
+
+// TestCalibrationLatencyLoopback prints the 1-VNF loopback row of Table 3.
+func TestCalibrationLatencyLoopback(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fmt.Printf("1-VNF loopback RTT us (paper: bess 35/15/39 fc 69/26/37 ovs 50/23/514 snabb 70/27/74 vpp 41/20/47 vale 32/35/65 t4p4s 169/65/2259)\n")
+	for _, name := range allSwitches {
+		pts, err := LatencyProfile(Config{
+			Switch: name, Scenario: Loopback, Chain: 1,
+			Duration: 10 * units.Millisecond, Warmup: 3 * units.Millisecond,
+		}, Table3Loads)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-10s", name)
+		for _, p := range pts {
+			fmt.Printf("  %.2f: %7.1f (n=%d)", p.Load, p.Summary.MeanUs, p.Summary.N)
+		}
+		fmt.Println()
+	}
+}
+
+// TestCalibrationLatencyV2V prints Table 4 (v2v RTT at 1 Mpps).
+func TestCalibrationLatencyV2V(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fmt.Printf("v2v RTT us at 1Mpps (paper: bess 37 fc 45 ovs 43 snabb 67 vpp 42 vale 21 t4p4s 70)\n")
+	for _, name := range allSwitches {
+		res, err := Run(Config{
+			Switch: name, Scenario: V2V, LatencyTopology: true,
+			Rate:       units.RateForPPS(1e6, 64),
+			ProbeEvery: DefaultProbeEvery,
+			Duration:   10 * units.Millisecond, Warmup: 3 * units.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("%-10s %7.1f us (n=%d)\n", name, res.Latency.MeanUs, res.Latency.N)
+	}
+}

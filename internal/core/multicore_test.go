@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestMultiCoreScaling: the paper's future-work extension. With the two
+// p2p ports sharded across two cores, a CPU-limited switch's bidirectional
+// aggregate should roughly double (until the 2×10G line cap).
+func TestMultiCoreScaling(t *testing.T) {
+	for _, name := range []string{"ovs", "t4p4s", "vpp", "fastclick", "bess"} {
+		one := quickRun(t, Config{Switch: name, Scenario: P2P, Bidir: true, SUTCores: 1})
+		two := quickRun(t, Config{Switch: name, Scenario: P2P, Bidir: true, SUTCores: 2})
+		if two.Gbps < one.Gbps*0.99 {
+			t.Errorf("%s: 2 cores (%.2f) below 1 core (%.2f)", name, two.Gbps, one.Gbps)
+		}
+		// CPU-limited switches must gain substantially.
+		if name == "ovs" || name == "t4p4s" {
+			if two.Gbps < one.Gbps*1.6 {
+				t.Errorf("%s: 2 cores (%.2f) not ~2x of 1 core (%.2f)", name, two.Gbps, one.Gbps)
+			}
+		}
+		// Never exceed the 20G line cap.
+		if two.Gbps > 20.01 {
+			t.Errorf("%s: 2 cores exceed line rate: %.2f", name, two.Gbps)
+		}
+	}
+}
+
+func TestMultiCoreLoopback(t *testing.T) {
+	one := quickRun(t, Config{Switch: "vpp", Scenario: Loopback, Chain: 2, SUTCores: 1})
+	four := quickRun(t, Config{Switch: "vpp", Scenario: Loopback, Chain: 2, SUTCores: 4})
+	if four.Gbps < one.Gbps*1.5 {
+		t.Errorf("4 cores (%.2f) not well above 1 core (%.2f)", four.Gbps, one.Gbps)
+	}
+}
+
+func TestMultiCoreUnsupportedForVALE(t *testing.T) {
+	_, err := Run(Config{Switch: "vale", Scenario: P2P, SUTCores: 2,
+		Duration: units.Millisecond, Warmup: units.Millisecond})
+	if err == nil {
+		t.Fatal("multi-core VALE accepted")
+	}
+}
+
+func TestMultiCoreDeterministic(t *testing.T) {
+	cfg := Config{Switch: "ovs", Scenario: P2P, Bidir: true, SUTCores: 2,
+		Duration: 2 * units.Millisecond, Warmup: units.Millisecond}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Steps != b.Steps || a.Gbps != b.Gbps {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/switches/switchdef"
+)
+
+// This file renders experiments as fixed-width text tables — the output of
+// the swbench CLI and the source of EXPERIMENTS.md.
+
+// RenderFigure writes a throughput figure as one table per (direction ×
+// chain) group, columns = frame sizes, rows = switches. With compare=true a
+// "paper" column is added where the paper's prose states a value.
+func RenderFigure(w io.Writer, fig *Figure, compare bool) {
+	fmt.Fprintf(w, "Figure %s: %s (Gbps)\n", fig.ID, fig.Title)
+	type groupKey struct {
+		chain int
+		bidir bool
+	}
+	groups := map[groupKey]map[string]map[int]ThroughputPoint{}
+	var order []groupKey
+	for _, pt := range fig.Pts {
+		k := groupKey{pt.Chain, pt.Bidir}
+		if groups[k] == nil {
+			groups[k] = map[string]map[int]ThroughputPoint{}
+			order = append(order, k)
+		}
+		if groups[k][pt.Switch] == nil {
+			groups[k][pt.Switch] = map[int]ThroughputPoint{}
+		}
+		groups[k][pt.Switch][pt.FrameLen] = pt
+	}
+	for _, k := range order {
+		dir := "unidirectional"
+		if k.bidir {
+			dir = "bidirectional"
+		}
+		if fig.Scenario == Loopback {
+			fmt.Fprintf(w, "\n  %s, %d-VNF chain:\n", dir, k.chain)
+		} else {
+			fmt.Fprintf(w, "\n  %s:\n", dir)
+		}
+		fmt.Fprintf(w, "  %-10s", "switch")
+		for _, size := range FrameSizes {
+			fmt.Fprintf(w, " %7dB", size)
+			if compare {
+				fmt.Fprintf(w, " %9s", "(paper)")
+			}
+		}
+		fmt.Fprintln(w)
+		for _, name := range Switches {
+			fmt.Fprintf(w, "  %-10s", name)
+			for _, size := range FrameSizes {
+				pt, ok := groups[k][name][size]
+				switch {
+				case !ok || pt.Unsupported:
+					fmt.Fprintf(w, " %8s", "-")
+				default:
+					fmt.Fprintf(w, " %8.2f", pt.Gbps)
+				}
+				if compare {
+					if ref, has := PaperThroughputFor(fig.Scenario, pt); has {
+						fmt.Fprintf(w, " %9.2f", ref)
+					} else {
+						fmt.Fprintf(w, " %9s", "")
+					}
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RenderFigure1 writes the scatter data of Fig. 1.
+func RenderFigure1(w io.Writer, pts []Figure1Point) {
+	fmt.Fprintln(w, "Figure 1: bidirectional p2p, 64B — throughput vs RTT at 0.95·R⁺")
+	fmt.Fprintf(w, "  %-10s %10s %12s %12s\n", "switch", "Gbps", "mean RTT us", "std RTT us")
+	for _, p := range pts {
+		fmt.Fprintf(w, "  %-10s %10.2f %12.1f %12.1f\n", p.Switch, p.Gbps, p.MeanUs, p.StdUs)
+	}
+}
+
+// RenderTable1 writes the design-space taxonomy (paper Table 1) from the
+// switch registry.
+func RenderTable1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: taxonomy of the evaluated switches")
+	fmt.Fprintf(w, "  %-10s %-15s %-13s %-13s %-11s %-8s %-10s %s\n",
+		"switch", "architecture", "paradigm", "processing", "virt iface", "reprog", "languages", "main purpose")
+	for _, name := range Switches {
+		info, err := switchdef.Lookup(name)
+		if err != nil {
+			continue
+		}
+		arch := "modular"
+		if info.SelfContained {
+			arch = "self-contained"
+		}
+		fmt.Fprintf(w, "  %-10s %-15s %-13s %-13s %-11s %-8s %-10s %s\n",
+			info.Display, arch, info.Paradigm, info.ProcessingModel,
+			info.VirtualIface, info.Reprogrammability, info.Languages, info.MainPurpose)
+	}
+}
+
+// RenderTable2 writes the parameter tunings (paper Table 2).
+func RenderTable2(w io.Writer) {
+	fmt.Fprintln(w, "Table 2: applied parameter tunings")
+	for _, name := range Switches {
+		info, err := switchdef.Lookup(name)
+		if err != nil || info.Tuning == "" {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %s\n", info.Display, info.Tuning)
+	}
+}
+
+// RenderTable3 writes the RTT latency table, optionally with the paper's
+// values inline.
+func RenderTable3(w io.Writer, cells []Table3Cell, compare bool) {
+	fmt.Fprintln(w, "Table 3: RTT latency (µs) for p2p and loopback, 64B")
+	byScenario := map[string]map[string]Table3Cell{}
+	var scenarios []string
+	for _, c := range cells {
+		if byScenario[c.Scenario] == nil {
+			byScenario[c.Scenario] = map[string]Table3Cell{}
+			scenarios = append(scenarios, c.Scenario)
+		}
+		byScenario[c.Scenario][c.Switch] = c
+	}
+	// Dedup preserve first-seen order.
+	seen := map[string]bool{}
+	var ordered []string
+	for _, s := range scenarios {
+		if !seen[s] {
+			seen[s] = true
+			ordered = append(ordered, s)
+		}
+	}
+	for _, scn := range ordered {
+		fmt.Fprintf(w, "\n  %s (loads 0.10 / 0.50 / 0.99 · R⁺):\n", scn)
+		for _, name := range Switches {
+			c, ok := byScenario[scn][name]
+			if !ok {
+				continue
+			}
+			if c.Unsupported {
+				fmt.Fprintf(w, "  %-10s %28s\n", name, "-")
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s %8.1f %8.1f %8.1f", name, c.MeanUs[0], c.MeanUs[1], c.MeanUs[2])
+			if compare {
+				if ref, ok := PaperTable3[name][scn]; ok {
+					fmt.Fprintf(w, "   (paper: %.1f / %.1f / %.1f)", ref[0], ref[1], ref[2])
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// RenderTable4 writes the v2v latency table.
+func RenderTable4(w io.Writer, rows []Table4Row, compare bool) {
+	fmt.Fprintln(w, "Table 4: RTT latency (µs) for v2v at 1 Mpps (software timestamps)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-10s %8.1f", r.Switch, r.MeanUs)
+		if compare {
+			if ref, ok := PaperTable4[r.Switch]; ok {
+				fmt.Fprintf(w, "   (paper: %.0f)", ref)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// RenderTable5 writes the use-case summary (paper Table 5).
+func RenderTable5(w io.Writer) {
+	fmt.Fprintln(w, "Table 5: software switch use cases")
+	fmt.Fprintf(w, "  %-10s %-42s %s\n", "switch", "best at", "remarks")
+	for _, name := range Switches {
+		info, err := switchdef.Lookup(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %-42s %s\n", info.Display, info.BestAt, info.Remarks)
+	}
+}
+
+// RenderResult writes one Run result compactly.
+func RenderResult(w io.Writer, res Result) {
+	cfg := res.Config
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", res.Display, cfg.Scenario)
+	if cfg.Scenario == Loopback {
+		fmt.Fprintf(&b, " chain=%d", cfg.Chain)
+	}
+	dir := "uni"
+	if cfg.Bidir {
+		dir = "bidir"
+	}
+	fmt.Fprintf(&b, " %dB %s: %.2f Gbps (%.2f Mpps", cfg.FrameLen, dir, res.Gbps, res.Mpps)
+	for _, d := range res.Dirs {
+		fmt.Fprintf(&b, "; dir %.2f", d.Gbps)
+	}
+	fmt.Fprintf(&b, ") drops=%d sut-busy=%.0f%%", res.Drops, res.SUTBusyFrac*100)
+	if res.Latency.N > 0 {
+		fmt.Fprintf(&b, " rtt: %s", res.Latency)
+	}
+	fmt.Fprintln(w, b.String())
+}

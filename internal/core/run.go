@@ -1,0 +1,84 @@
+package core
+
+import (
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Run executes one measurement: assemble the testbed, run the warmup,
+// then measure over the configured window.
+func Run(cfg Config) (Result, error) {
+	tb, err := build(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	cfg = tb.cfg // defaults applied
+
+	if cfg.CapturePath != "" {
+		stop, err := tb.attachCapture(cfg.CapturePath)
+		if err != nil {
+			return Result{}, err
+		}
+		defer stop()
+	}
+
+	// Warmup: caches fill, MAC tables learn, JIT traces compile, queues
+	// reach steady state.
+	tb.sched.RunUntil(cfg.Warmup)
+
+	// Snapshot counters and reset latency histograms at window start.
+	snaps := make([]stats.Counter, len(tb.dirRx))
+	for i, fn := range tb.dirRx {
+		snaps[i] = fn()
+	}
+	for _, h := range tb.hists {
+		h.Reset()
+	}
+	busy0 := make([]units.Cycles, len(tb.sutPolls))
+	idle0 := make([]units.Cycles, len(tb.sutPolls))
+	for i, c := range tb.sutPolls {
+		busy0[i], idle0[i] = c.Busy, c.Idle
+	}
+
+	tb.sched.RunUntil(cfg.Warmup + cfg.Duration)
+
+	// Collect.
+	res := Result{Config: cfg, Display: tb.info.Display, Steps: tb.sched.Steps()}
+	for i, fn := range tb.dirRx {
+		d := fn().Sub(snaps[i])
+		dir := DirResult{
+			RxPackets: d.Packets,
+			RxBytes:   d.Bytes,
+			Gbps:      units.WireGbpsBytes(d.Packets, d.Bytes, cfg.Duration),
+			Mpps:      units.Mpps(d.Packets, cfg.Duration),
+		}
+		res.Dirs = append(res.Dirs, dir)
+		res.Gbps += dir.Gbps
+		res.Mpps += dir.Mpps
+	}
+	offered := cfg.Rate
+	if offered == 0 {
+		offered = units.TenGigE
+	}
+	res.OfferedGbps = float64(offered) / 1e9 * float64(len(res.Dirs))
+	var merged stats.Histogram
+	for _, h := range tb.hists {
+		if h.N() > 0 {
+			merged = *h
+			break
+		}
+	}
+	res.Latency = merged.Summarize()
+	for _, fn := range tb.dropFns {
+		res.Drops += fn()
+	}
+	var busy, idle units.Cycles
+	for i, c := range tb.sutPolls {
+		busy += c.Busy - busy0[i]
+		idle += c.Idle - idle0[i]
+	}
+	if busy+idle > 0 {
+		res.SUTBusyFrac = float64(busy) / float64(busy+idle)
+	}
+	return res, nil
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/nic"
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/vm"
+)
+
+// wire builds the scenario topology onto the switch, mirroring the paper's
+// Fig. 3 placements: the SUT (and everything it drives) on NUMA node 0,
+// MoonGen TX/RX on node 1 behind the physical wires.
+func (tb *testbed) wire() error {
+	switch tb.cfg.Scenario {
+	case P2P:
+		return tb.wireP2P()
+	case P2V:
+		return tb.wireP2V()
+	case V2V:
+		if tb.cfg.LatencyTopology {
+			return tb.wireV2VLatency()
+		}
+		return tb.wireV2V()
+	case Loopback:
+		return tb.wireLoopback()
+	}
+	return fmt.Errorf("core: unknown scenario %v", tb.cfg.Scenario)
+}
+
+func (tb *testbed) attach(sp *sutPort) int {
+	tb.portCount++
+	return tb.sw.AddPort(sp.dev)
+}
+
+// wireP2P: gen0 —wire— SUT[0 ↔ 1] —wire— gen1.
+func (tb *testbed) wireP2P() error {
+	sp0, gen0 := tb.addPhysPair("p0")
+	sp1, gen1 := tb.addPhysPair("p1")
+	p0, p1 := tb.attach(sp0), tb.attach(sp1)
+	if err := tb.sw.CrossConnect(p0, p1); err != nil {
+		return err
+	}
+	// Direction 0: node-1 port0 → SUT → node-1 port1.
+	tb.nicGenerator("moongen-tx0", gen0, tb.frameSpec(p0, p1), true)
+	tb.nicSink("moongen-rx1", gen1)
+	if tb.cfg.Bidir {
+		tb.nicGenerator("moongen-tx1", gen1, tb.frameSpec(p1, p0), false)
+		tb.nicSink("moongen-rx0", gen0)
+	}
+	return nil
+}
+
+// wireP2V: gen0 —wire— SUT[0 ↔ 1] —vif— VM(monitor / generator).
+func (tb *testbed) wireP2V() error {
+	sp0, gen0 := tb.addPhysPair("p0")
+	guestPool := pkt.NewPool(bufSize)
+	spV, vif := tb.addGuestIf("vm0-if0", guestPool)
+	p0, pv := tb.attach(sp0), tb.attach(spV)
+	if err := tb.sw.CrossConnect(p0, pv); err != nil {
+		return err
+	}
+	if !tb.cfg.Reversed {
+		tb.nicGenerator("moongen-tx0", gen0, tb.frameSpec(p0, pv), true)
+		tb.guestMonitor("flowatcher-vm0", vif)
+	}
+	if tb.cfg.Reversed || tb.cfg.Bidir {
+		tb.guestGenerator("guestgen-vm0", vif, guestPool, tb.frameSpec(pv, p0), false)
+		tb.nicSink("moongen-rx0", gen0)
+	}
+	return nil
+}
+
+// wireV2V (throughput topology): VM1(gen) —vif— SUT[0 ↔ 1] —vif— VM2(mon).
+func (tb *testbed) wireV2V() error {
+	pool1 := pkt.NewPool(bufSize)
+	pool2 := pkt.NewPool(bufSize)
+	sp1, if1 := tb.addGuestIf("vm1-if0", pool1)
+	sp2, if2 := tb.addGuestIf("vm2-if0", pool2)
+	p1, p2 := tb.attach(sp1), tb.attach(sp2)
+	if err := tb.sw.CrossConnect(p1, p2); err != nil {
+		return err
+	}
+	tb.guestGenerator("guestgen-vm1", if1, pool1, tb.frameSpec(p1, p2), false)
+	tb.guestMonitor("monitor-vm2", if2)
+	if tb.cfg.Bidir {
+		tb.guestGenerator("guestgen-vm2", if2, pool2, tb.frameSpec(p2, p1), false)
+		tb.guestMonitor("monitor-vm1", if1)
+	}
+	return nil
+}
+
+// wireV2VLatency (§5.3): VM1 holds the MoonGen TX (if0) and RX (if1)
+// threads with software timestamping; VM2 reflects with l2fwd. The SUT
+// cross-connects (vm1.if0 ↔ vm2.if0) and (vm2.if1 ↔ vm1.if1).
+func (tb *testbed) wireV2VLatency() error {
+	pool1 := pkt.NewPool(bufSize)
+	pool2 := pkt.NewPool(bufSize)
+	sp10, if10 := tb.addGuestIf("vm1-if0", pool1)
+	sp20, if20 := tb.addGuestIf("vm2-if0", pool2)
+	sp21, if21 := tb.addGuestIf("vm2-if1", pool2)
+	sp11, if11 := tb.addGuestIf("vm1-if1", pool1)
+	p10, p20 := tb.attach(sp10), tb.attach(sp20)
+	p21, p11 := tb.attach(sp21), tb.attach(sp11)
+	if err := tb.sw.CrossConnect(p10, p20); err != nil {
+		return err
+	}
+	if err := tb.sw.CrossConnect(p21, p11); err != nil {
+		return err
+	}
+	tb.guestGenerator("moongen-vm1-tx", if10, pool1, tb.frameSpec(p10, p20), true)
+	rewrite := switchdef.PortMAC(p11)
+	fwd := &vm.L2Fwd{A: if20, B: if21, OwnMAC: switchdef.PortMAC(p21), RewriteAB: &rewrite}
+	tb.guestCore("l2fwd-vm2", fwd.Poll)
+	tb.guestMonitor("moongen-vm1-rx", if11)
+	return nil
+}
+
+// wireLoopback: gen0 — SUT[phys0 ↔ vm1.if0], VM k l2fwd, [vmk.if1 ↔
+// vm(k+1).if0] ..., [vmN.if1 ↔ phys1] — gen1. With the VALE SUT each
+// cross-connect is its own VALE bridge (N+1 instances) and the VNFs are
+// guest VALE instances over ptnet, as in the paper's appendix A.4.
+func (tb *testbed) wireLoopback() error {
+	n := tb.cfg.Chain
+	sp0, gen0 := tb.addPhysPair("p0")
+	p0 := tb.attach(sp0)
+
+	type vmIfs struct {
+		if0, if1 vm.NetIf
+		pIf0     int
+		pIf1     int
+		pool     *pkt.Pool
+	}
+	vms := make([]vmIfs, n)
+	for k := 0; k < n; k++ {
+		pool := pkt.NewPool(bufSize)
+		spa, ifa := tb.addGuestIf(fmt.Sprintf("vm%d-if0", k+1), pool)
+		spb, ifb := tb.addGuestIf(fmt.Sprintf("vm%d-if1", k+1), pool)
+		vms[k] = vmIfs{if0: ifa, if1: ifb, pIf0: tb.attach(spa), pIf1: tb.attach(spb), pool: pool}
+	}
+	sp1, gen1 := tb.addPhysPair("p1")
+	p1 := tb.attach(sp1)
+
+	// Cross-connects along the chain.
+	if err := tb.sw.CrossConnect(p0, vms[0].pIf0); err != nil {
+		return err
+	}
+	for k := 0; k+1 < n; k++ {
+		if err := tb.sw.CrossConnect(vms[k].pIf1, vms[k+1].pIf0); err != nil {
+			return err
+		}
+	}
+	if err := tb.sw.CrossConnect(vms[n-1].pIf1, p1); err != nil {
+		return err
+	}
+
+	// The VNFs.
+	for k := 0; k < n; k++ {
+		name := fmt.Sprintf("vnf-vm%d", k+1)
+		if tb.info.VirtualIface == "ptnet" {
+			fwd := &vm.ValeFwd{A: vms[k].if0, B: vms[k].if1, Pool: vms[k].pool}
+			tb.guestCore(name, fwd.Poll)
+			continue
+		}
+		// Forward egress after vmK.if1 is the peer of that
+		// cross-connect; reverse egress after vmK.if0 likewise.
+		var fwdDst, revDst pkt.MAC
+		if k+1 < n {
+			fwdDst = switchdef.PortMAC(vms[k+1].pIf0)
+		} else {
+			fwdDst = switchdef.PortMAC(p1)
+		}
+		if k > 0 {
+			revDst = switchdef.PortMAC(vms[k-1].pIf1)
+		} else {
+			revDst = switchdef.PortMAC(p0)
+		}
+		fDst, rDst := fwdDst, revDst
+		fwd := &vm.L2Fwd{
+			A: vms[k].if0, B: vms[k].if1,
+			OwnMAC:    switchdef.PortMAC(vms[k].pIf0),
+			RewriteAB: &fDst,
+			RewriteBA: &rDst,
+		}
+		tb.guestCore(name, fwd.Poll)
+	}
+
+	// Traffic.
+	tb.nicGenerator("moongen-tx0", gen0, tb.frameSpec(p0, vms[0].pIf0), true)
+	tb.nicSink("moongen-rx1", gen1)
+	if tb.cfg.Bidir {
+		tb.nicGenerator("moongen-tx1", gen1, tb.frameSpec(p1, vms[n-1].pIf1), false)
+		tb.nicSink("moongen-rx0", gen0)
+	}
+	return nil
+}
+
+// unusedNIC keeps the import of nic for the sutPort struct fields.
+var _ = nic.Connect

@@ -1,0 +1,29 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestSmokeP2PAllSwitches pushes traffic through every switch in the p2p
+// scenario and prints the 64B unidirectional throughput (calibration aid).
+func TestSmokeP2PAllSwitches(t *testing.T) {
+	for _, name := range []string{"bess", "fastclick", "ovs", "snabb", "t4p4s", "vale", "vpp"} {
+		res, err := Run(Config{
+			Switch:   name,
+			Scenario: P2P,
+			Duration: 5 * units.Millisecond,
+			Warmup:   2 * units.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Gbps <= 0.1 {
+			t.Errorf("%s: no traffic forwarded (%.3f Gbps)", name, res.Gbps)
+		}
+		fmt.Printf("p2p uni 64B %-10s %6.2f Gbps %6.2f Mpps drops=%d steps=%d\n",
+			name, res.Gbps, res.Mpps, res.Drops, res.Steps)
+	}
+}

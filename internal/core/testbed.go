@@ -1,0 +1,349 @@
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cost"
+	"repro/internal/cpu"
+	"repro/internal/nic"
+	"repro/internal/pcap"
+	"repro/internal/pkt"
+	"repro/internal/ptnet"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/switches/switchdef"
+	"repro/internal/tgen"
+	"repro/internal/units"
+	"repro/internal/vhost"
+	"repro/internal/vm"
+
+	// Register the seven evaluated switches.
+	_ "repro/internal/switches/bess"
+	_ "repro/internal/switches/fastclick"
+	_ "repro/internal/switches/ovs"
+	_ "repro/internal/switches/snabb"
+	_ "repro/internal/switches/t4p4s"
+	_ "repro/internal/switches/vale"
+	_ "repro/internal/switches/vpp"
+)
+
+// Testbed parameters mirroring the measurement platform (§5.1).
+const (
+	bufSize        = 2048
+	genRingSize    = 4096 // generator-side NIC rings never drop
+	defaultNICRing = 512
+	valeITR        = 50 * units.Microsecond // NIC interrupt moderation for netmap
+	ptnetNotify    = 3 * units.Microsecond  // ptnet doorbell→host wakeup
+	guestIdleStep  = 400 * units.Nanosecond // guest core poll granularity when idle
+	swStampNoise   = 2 * units.Microsecond  // software timestamping inaccuracy
+
+	// Container-mode virtio parameters (virtio-user: no VM exits).
+	containerScale  = 0.8
+	containerNotify = 3 * units.Microsecond
+)
+
+// orOne resolves the per-direction vhost scale fallback chain.
+func orOne(v ...float64) float64 {
+	for _, x := range v {
+		if x != 0 {
+			return x
+		}
+	}
+	return 1
+}
+
+// testbed is one assembled simulation.
+type testbed struct {
+	cfg   Config
+	info  switchdef.Info
+	sched *sim.Scheduler
+	rng   *sim.RNG
+	model *cost.Model
+
+	sw        switchdef.Switch
+	sutPolls  []*cpu.PollCore
+	sutIRQ    *cpu.IRQCore
+	portCount int
+
+	hostPool *pkt.Pool
+	genPool  *pkt.Pool
+
+	gens     []*tgen.Generator
+	sinks    []*tgen.Sink
+	monitors []*vm.Monitor
+
+	guestCores []*cpu.PollCore
+
+	// dirRx returns, per direction, the delivered-frame counter.
+	dirRx []func() stats.Counter
+	// hists are the latency histograms in use.
+	hists []*stats.Histogram
+	// dropFns report loss points.
+	dropFns []func() int64
+}
+
+// sutPorts tracks what was attached to the switch, in port-index order.
+type sutPort struct {
+	dev     switchdef.DevPort
+	nicPort *nic.Port     // non-nil for phys
+	vdev    *vhost.Device // non-nil for vhost
+	pdev    *ptnet.Port   // non-nil for ptnet
+}
+
+// build assembles the testbed for cfg.
+func build(cfg Config) (*testbed, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	info, err := switchdef.Lookup(cfg.Switch)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Scenario == Loopback && !cfg.Containers && info.MaxLoopbackVNFs > 0 && cfg.Chain > info.MaxLoopbackVNFs {
+		return nil, fmt.Errorf("%w: %s supports at most %d loopback VNFs", ErrChainTooLong, info.Display, info.MaxLoopbackVNFs)
+	}
+
+	tb := &testbed{
+		cfg:      cfg,
+		info:     info,
+		sched:    sim.NewScheduler(),
+		rng:      sim.NewRNG(cfg.Seed),
+		model:    cost.Default(),
+		hostPool: pkt.NewPool(bufSize),
+		genPool:  pkt.NewPool(bufSize),
+	}
+	sw, err := switchdef.New(cfg.Switch, switchdef.Env{
+		Model: tb.model,
+		RNG:   tb.rng,
+		Pool:  tb.hostPool,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb.sw = sw
+
+	// Interrupt-driven SUTs need their core before wiring (devices bind
+	// their IRQ lines to it); poll-mode cores are created after wiring,
+	// when the port count for RSS sharding is known.
+	if info.IOMode == switchdef.InterruptMode {
+		if cfg.SUTCores > 1 {
+			return nil, fmt.Errorf("core: multi-core is not supported for interrupt-driven %s", info.Display)
+		}
+		meter := cost.NewMeter(tb.model, tb.rng.Derive("sut"))
+		tb.sutIRQ = cpu.NewIRQCore(tb.sched, "sut", meter, sw.Poll)
+	}
+
+	if err := tb.wire(); err != nil {
+		return nil, err
+	}
+
+	if info.IOMode == switchdef.PollMode {
+		if cfg.SUTCores == 1 {
+			meter := cost.NewMeter(tb.model, tb.rng.Derive("sut"))
+			c := cpu.NewPollCore(tb.sched, "sut", meter, sw.Poll)
+			c.Start(0)
+			tb.sutPolls = append(tb.sutPolls, c)
+		} else {
+			mc, ok := sw.(switchdef.MultiCore)
+			if !ok {
+				return nil, fmt.Errorf("core: %s does not support multi-core operation", info.Display)
+			}
+			for k, ports := range switchdef.ShardPorts(tb.portCount, cfg.SUTCores) {
+				shard := ports
+				name := fmt.Sprintf("sut-core%d", k)
+				meter := cost.NewMeter(tb.model, tb.rng.Derive(name))
+				c := cpu.NewPollCore(tb.sched, name, meter, func(now units.Time, m *cost.Meter) bool {
+					return mc.PollShard(now, m, shard)
+				})
+				c.Start(0)
+				tb.sutPolls = append(tb.sutPolls, c)
+			}
+		}
+	}
+	return tb, nil
+}
+
+// nicRing returns the SUT-side descriptor ring size (Table 2 tunings).
+func (tb *testbed) nicRing() int {
+	if tb.info.RxRingOverride > 0 {
+		return tb.info.RxRingOverride
+	}
+	return defaultNICRing
+}
+
+// addPhysPair creates a SUT NIC port wired to a generator-side NIC port.
+func (tb *testbed) addPhysPair(name string) (*sutPort, *nic.Port) {
+	itr := units.Time(0)
+	if tb.info.IOMode == switchdef.InterruptMode {
+		itr = valeITR
+	}
+	sutNIC := nic.NewPort(nic.Config{
+		Name:   "sut-" + name,
+		TxRing: tb.nicRing(), RxRing: tb.nicRing(),
+		ITR: itr,
+	})
+	genNIC := nic.NewPort(nic.Config{
+		Name:   "gen-" + name,
+		TxRing: genRingSize, RxRing: genRingSize,
+		HWTimestamp: true,
+	})
+	nic.Connect(sutNIC, genNIC)
+	if tb.sutIRQ != nil {
+		sutNIC.BindIRQ(tb.sutIRQ)
+	}
+	tb.dropFns = append(tb.dropFns,
+		func() int64 { return sutNIC.Stats.RxDropsFull + sutNIC.Stats.TxDropsFull },
+		func() int64 { return genNIC.Stats.RxDropsFull + genNIC.Stats.TxDropsFull },
+	)
+	sp := &sutPort{
+		dev:     &switchdef.PhysPort{Port: sutNIC, Unpriced: tb.info.IOMode == switchdef.InterruptMode},
+		nicPort: sutNIC,
+	}
+	return sp, genNIC
+}
+
+// addGuestIf creates one guest interface pair (host DevPort + guest NetIf)
+// of the kind the switch uses.
+func (tb *testbed) addGuestIf(name string, guestPool *pkt.Pool) (*sutPort, vm.NetIf) {
+	if tb.info.VirtualIface == "ptnet" {
+		dev := ptnet.New(ptnet.Config{Name: name, NotifyDelay: ptnetNotify})
+		if tb.sutIRQ != nil {
+			dev.BindHostIRQ(tb.sutIRQ)
+		}
+		tb.dropFns = append(tb.dropFns, dev.Drops)
+		return &sutPort{dev: &switchdef.PtnetPort{Dev: dev}, pdev: dev}, &vm.PtnetIf{Dev: dev}
+	}
+	vcfg := vhost.Config{
+		Name:      name,
+		GuestPool: guestPool,
+		HostPool:  tb.hostPool,
+		CostScale: tb.info.VhostCostScale,
+		EnqScale:  tb.info.VhostEnqScale,
+		DeqScale:  tb.info.VhostDeqScale,
+	}
+	if tb.cfg.Containers {
+		// Container networking (virtio-user) skips the VM exit path:
+		// cheaper crossings and faster notification.
+		vcfg.EnqScale = containerScale * orOne(vcfg.EnqScale, vcfg.CostScale)
+		vcfg.DeqScale = containerScale * orOne(vcfg.DeqScale, vcfg.CostScale)
+		vcfg.GuestNotifyDelay = containerNotify
+	}
+	dev := vhost.New(vcfg)
+	tb.dropFns = append(tb.dropFns, func() int64 { return dev.RxDrops() + dev.TxDrops() })
+	return &sutPort{dev: &switchdef.VhostPort{Dev: dev}, vdev: dev}, &vm.VirtioIf{Dev: dev}
+}
+
+// guestCore starts a poll-mode guest vCPU running fn.
+func (tb *testbed) guestCore(name string, fn cpu.PollFunc) *cpu.PollCore {
+	m := cost.NewMeter(tb.model, tb.rng.Derive(name))
+	c := cpu.NewPollCore(tb.sched, name, m, fn)
+	c.IdleStep = guestIdleStep
+	tb.guestCores = append(tb.guestCores, c)
+	c.Start(0)
+	return c
+}
+
+// frameSpec builds the synthetic single-flow template for a direction whose
+// traffic enters the SUT on port `in` and must leave on port `out`.
+func (tb *testbed) frameSpec(in, out int) pkt.FrameSpec {
+	return pkt.FrameSpec{
+		SrcMAC:   switchdef.PortMAC(in),
+		DstMAC:   switchdef.PortMAC(out),
+		SrcIP:    [4]byte{10, 0, byte(in), 1},
+		DstIP:    [4]byte{10, 0, byte(out), 2},
+		SrcPort:  1000 + uint16(in),
+		DstPort:  2000 + uint16(out),
+		FrameLen: tb.cfg.FrameLen,
+	}
+}
+
+// nicGenerator starts a MoonGen TX thread on a generator NIC port.
+func (tb *testbed) nicGenerator(name string, port *nic.Port, spec pkt.FrameSpec, probes bool) *tgen.Generator {
+	cfg := tgen.Config{
+		Name:  name,
+		Port:  port,
+		Pool:  tb.genPool,
+		Spec:  spec,
+		Rate:  tb.cfg.Rate,
+		Flows: tb.cfg.Flows,
+		IMIX:  tb.cfg.IMIX,
+	}
+	if probes && tb.cfg.ProbeEvery > 0 {
+		cfg.ProbeEvery = tb.cfg.ProbeEvery
+	}
+	g := tgen.NewGenerator(tb.sched, cfg)
+	g.Start(0)
+	tb.gens = append(tb.gens, g)
+	return g
+}
+
+// nicSink starts a MoonGen RX / monitor thread on a generator NIC port and
+// registers it as the delivery endpoint of one direction.
+func (tb *testbed) nicSink(name string, port *nic.Port) *tgen.Sink {
+	s := tgen.NewSink(tb.sched, name, port)
+	s.Start(0)
+	tb.sinks = append(tb.sinks, s)
+	tb.dirRx = append(tb.dirRx, func() stats.Counter { return s.Rx })
+	tb.hists = append(tb.hists, &s.Hist)
+	return s
+}
+
+// guestMonitor starts FloWatcher/pkt-gen-RX on a guest interface and
+// registers it as a direction endpoint.
+func (tb *testbed) guestMonitor(name string, ifc vm.NetIf) *vm.Monitor {
+	mo := &vm.Monitor{If: ifc, SWStampNoise: swStampNoise, RNG: tb.rng.Derive(name)}
+	tb.monitors = append(tb.monitors, mo)
+	tb.guestCore(name, mo.Poll)
+	tb.dirRx = append(tb.dirRx, func() stats.Counter { return mo.Rx })
+	tb.hists = append(tb.hists, &mo.Hist)
+	return mo
+}
+
+// guestGenerator starts MoonGen/pkt-gen TX inside a VM. MoonGen's port
+// profile caps virtio guests at 10 Gbps; pkt-gen over ptnet is unlimited.
+func (tb *testbed) guestGenerator(name string, ifc vm.NetIf, pool *pkt.Pool, spec pkt.FrameSpec, probes bool) *vm.Generator {
+	g := &vm.Generator{
+		If:   ifc,
+		Pool: pool,
+		Spec: spec,
+	}
+	if tb.info.VirtualIface != "ptnet" {
+		g.VirtualRate = units.TenGigE
+	}
+	if tb.cfg.Rate > 0 {
+		g.VirtualRate = tb.cfg.Rate
+	}
+	if probes && tb.cfg.ProbeEvery > 0 {
+		g.ProbeEvery = tb.cfg.ProbeEvery
+	}
+	m := cost.NewMeter(tb.model, tb.rng.Derive(name))
+	vm.StartGenerator(tb.sched, name, g, m, 0)
+	return g
+}
+
+// attachCapture dumps frames delivered to the first NIC sink (or guest
+// monitor) into a pcap file; the returned function closes it.
+func (tb *testbed) attachCapture(path string) (func(), error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := pcap.NewWriter(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	hook := func(at units.Time, b *pkt.Buf) { _ = w.WritePacket(at, b) }
+	switch {
+	case len(tb.sinks) > 0:
+		tb.sinks[0].Capture = hook
+	case len(tb.monitors) > 0:
+		tb.monitors[0].Capture = hook
+	default:
+		f.Close()
+		return nil, fmt.Errorf("core: no measurement endpoint to capture")
+	}
+	return func() { f.Close() }, nil
+}

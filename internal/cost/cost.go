@@ -1,0 +1,168 @@
+// Package cost models CPU time. Switch data planes run real Go code over
+// real data structures, but the *simulated* time they consume is accounted
+// here: every primitive operation (poll, descriptor ring access, byte copy,
+// hash lookup, interrupt, syscall) charges cycles to a Meter, and the
+// simulated core advances its clock by the drained total.
+//
+// The primitive prices below are shared by every switch; per-switch pipeline
+// constants live in the switch packages and are calibrated against the
+// paper's measured throughputs (see DESIGN.md §7).
+package cost
+
+import (
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Model holds the primitive operation prices for one simulated machine.
+type Model struct {
+	Freq units.Freq
+
+	// IdlePoll is an empty poll-mode iteration (DPDK rx_burst returning 0).
+	IdlePoll units.Cycles
+
+	// RxBurst/TxBurst are the fixed per-burst costs of a PMD rx/tx call;
+	// RxPkt/TxPkt the per-descriptor costs.
+	RxBurst, RxPkt units.Cycles
+	TxBurst, TxPkt units.Cycles
+
+	// CopyBase + CopyPerByteMilli/1000·len is the price of one packet
+	// copy (the vhost-user tax; ptnet avoids it).
+	CopyBase         units.Cycles
+	CopyPerByteMilli units.Cycles // milli-cycles per byte
+
+	// VhostDesc is the per-packet descriptor/avail/used-ring handling on
+	// each virtio crossing, beyond the data copy itself.
+	VhostDesc units.Cycles
+
+	// PtnetDesc is the per-packet descriptor cost of a zero-copy netmap
+	// passthrough crossing.
+	PtnetDesc units.Cycles
+
+	// DMAPerByteMilli prices the per-byte share of moving a frame across
+	// a physical port (descriptor DMA, cache interaction), in
+	// milli-cycles per byte.
+	DMAPerByteMilli units.Cycles
+
+	// HashLookup is one hash-table probe (EMC, MAC table, flow table).
+	HashLookup units.Cycles
+
+	// Interrupt and Syscall price netmap-style kernel I/O (VALE).
+	Interrupt units.Cycles
+	Syscall   units.Cycles
+}
+
+// Default returns the testbed's machine model: a 2.6 GHz Haswell-class core
+// with DPDK-era primitive costs.
+func Default() *Model {
+	return &Model{
+		Freq:             units.DefaultCPUFreq,
+		IdlePoll:         60,
+		RxBurst:          30,
+		RxPkt:            14,
+		TxBurst:          30,
+		TxPkt:            14,
+		CopyBase:         20,
+		CopyPerByteMilli: 220, // 0.22 cycles/B ≈ 11 GB/s effective small-copy bandwidth
+		VhostDesc:        60,
+		PtnetDesc:        10,
+		DMAPerByteMilli:  100, // 0.1 cycles/B
+		HashLookup:       28,
+		Interrupt:        2600, // ~1 us wakeup path
+		Syscall:          1300, // ~0.5 us
+	}
+}
+
+// CopyCost returns the price of copying n bytes.
+func (m *Model) CopyCost(n int) units.Cycles {
+	return m.CopyBase + m.CopyPerByteMilli*units.Cycles(n)/1000
+}
+
+// Modulation is a slow square-wave efficiency modulation: phases of
+// degraded throughput (flow revalidation sweeps, trace-cache churn, buffer
+// reclamation) that a saturated R⁺ measurement averages over but that a
+// 0.99·R⁺ constant-bit-rate run collides with, producing the paper's
+// congested-tail latencies (Table 3). During HighDur every charge is
+// scaled by HighFactor (>1), then by LowFactor (<1) for LowDur.
+type Modulation struct {
+	HighFactor, LowFactor float64
+	HighDur, LowDur       units.Time
+}
+
+// Factor returns the multiplier in effect at time now.
+func (mo Modulation) Factor(now units.Time) float64 {
+	period := mo.HighDur + mo.LowDur
+	if period <= 0 {
+		return 1
+	}
+	if now%period < mo.HighDur {
+		return mo.HighFactor
+	}
+	return mo.LowFactor
+}
+
+// Scale applies the modulation to a cycle count.
+func (mo Modulation) Scale(now units.Time, c units.Cycles) units.Cycles {
+	f := mo.Factor(now)
+	if f == 1 || f == 0 {
+		return c
+	}
+	return units.Cycles(float64(c) * f)
+}
+
+// Meter accumulates cycles consumed by one simulated core between
+// scheduler steps.
+type Meter struct {
+	Model *Model
+	RNG   *sim.RNG
+	acc   units.Cycles
+	total units.Cycles
+}
+
+// NewMeter returns a meter over the given model and random stream.
+func NewMeter(m *Model, rng *sim.RNG) *Meter {
+	return &Meter{Model: m, RNG: rng}
+}
+
+// Charge adds c cycles.
+func (mt *Meter) Charge(c units.Cycles) {
+	if c < 0 {
+		panic("cost: negative charge")
+	}
+	mt.acc += c
+}
+
+// ChargeCopy adds the price of copying n bytes.
+func (mt *Meter) ChargeCopy(n int) { mt.Charge(mt.Model.CopyCost(n)) }
+
+// ChargeNoisy adds c cycles plus a one-sided noise term: c·frac·Exp(1).
+// Exponential noise gives the heavy(ish) tail that distinguishes unstable
+// pipelines (t4p4s) from stable ones (VPP) in the paper's 0.99·R⁺ rows.
+func (mt *Meter) ChargeNoisy(c units.Cycles, frac float64) {
+	n := c
+	if frac > 0 && mt.RNG != nil {
+		n += units.Cycles(float64(c) * frac * mt.RNG.ExpFloat64())
+	}
+	mt.Charge(n)
+}
+
+// Stall charges a wall-clock duration (converted to cycles), used for
+// modelled pauses such as OvS revalidation or LuaJIT trace compilation.
+func (mt *Meter) Stall(d units.Time) {
+	mt.Charge(mt.Model.Freq.CyclesIn(d))
+}
+
+// Pending returns the not-yet-drained cycles.
+func (mt *Meter) Pending() units.Cycles { return mt.acc }
+
+// Total returns all cycles ever charged.
+func (mt *Meter) Total() units.Cycles { return mt.total }
+
+// Drain converts the accumulated cycles to simulated time and resets the
+// accumulator.
+func (mt *Meter) Drain() units.Time {
+	c := mt.acc
+	mt.acc = 0
+	mt.total += c
+	return mt.Model.Freq.Duration(c)
+}

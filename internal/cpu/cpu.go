@@ -1,0 +1,170 @@
+// Package cpu provides simulated CPU cores. A core repeatedly invokes a
+// data plane's poll function; the function charges the cycles it consumed to
+// a cost.Meter and the core advances simulated time by the drained amount.
+//
+// Two core flavours mirror the paper's I/O models: PollCore for DPDK-style
+// busy-wait switches, and IRQCore for netmap/VALE, which sleeps until a
+// device interrupt and pays wakeup costs.
+package cpu
+
+import (
+	"repro/internal/cost"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// PollFunc is one scheduling quantum of a data plane: process what is
+// available, charge cycles to m, report whether any work was done.
+type PollFunc func(now units.Time, m *cost.Meter) bool
+
+// PollCore is a busy-waiting core (DPDK poll-mode model).
+type PollCore struct {
+	Meter *cost.Meter
+	poll  PollFunc
+	task  *sim.Task
+	sched *sim.Scheduler
+
+	// IdleStep, when set, is the minimum clock advance after a poll that
+	// found no work — a cheap way to coarsen idle spinning for cores
+	// whose latency contribution is bounded (guest monitors).
+	IdleStep units.Time
+
+	// Busy counts cycles spent in iterations that did work; Idle counts
+	// empty polls — together they give the paper's CPU utilization view.
+	Busy, Idle units.Cycles
+}
+
+// NewPollCore registers a busy-poll core with the scheduler. It does not
+// start running until Start is called.
+func NewPollCore(s *sim.Scheduler, name string, m *cost.Meter, poll PollFunc) *PollCore {
+	c := &PollCore{Meter: m, poll: poll, sched: s}
+	c.task = s.Register(name, c)
+	return c
+}
+
+// Start schedules the first poll at time at.
+func (c *PollCore) Start(at units.Time) { c.sched.WakeAt(c.task, at) }
+
+// Step implements sim.Actor.
+func (c *PollCore) Step(now units.Time) (units.Time, bool) {
+	did := c.poll(now, c.Meter)
+	if !did {
+		c.Meter.Charge(c.Meter.Model.IdlePoll)
+	}
+	spent := c.Meter.Pending()
+	d := c.Meter.Drain()
+	if did {
+		c.Busy += spent
+	} else {
+		c.Idle += spent
+		if d < c.IdleStep {
+			d = c.IdleStep
+		}
+	}
+	if d <= 0 {
+		// A poll must consume time or the simulation cannot advance.
+		d = units.Nanosecond
+	}
+	return now + d, true
+}
+
+// Utilization returns the fraction of cycles spent doing useful work.
+func (c *PollCore) Utilization() float64 {
+	t := c.Busy + c.Idle
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Busy) / float64(t)
+}
+
+// IRQCore is an interrupt-driven core (netmap model): it processes available
+// work, then sleeps until a device calls Wake. Each wakeup pays the
+// interrupt + syscall path cost.
+type IRQCore struct {
+	Meter *cost.Meter
+	poll  PollFunc
+	task  *sim.Task
+	sched *sim.Scheduler
+
+	sleeping  bool
+	busyUntil units.Time
+	// pending is the earliest interrupt signalled while the core was
+	// running (0 = none): delivered when the core would otherwise sleep.
+	pending units.Time
+	Wakeups int64
+
+	// onSleep callbacks re-enable device interrupts when the core exits
+	// its polling loop (the NAPI contract): each device re-fires if it
+	// still has — or will have — work.
+	onSleep []func(now units.Time)
+}
+
+// NewIRQCore registers an interrupt-driven core with the scheduler.
+func NewIRQCore(s *sim.Scheduler, name string, m *cost.Meter, poll PollFunc) *IRQCore {
+	c := &IRQCore{Meter: m, poll: poll, sched: s, sleeping: true}
+	c.task = s.Register(name, c)
+	return c
+}
+
+// Wake signals the core (an interrupt) at time at. Redundant wakes while the
+// core is already running are harmless; a wake can never pull the core's
+// next step before the end of the work it is already committed to.
+func (c *IRQCore) Wake(at units.Time) {
+	if c.sleeping {
+		c.sleeping = false
+		c.Wakeups++
+		// First wake out of sleep pays the interrupt delivery and the
+		// syscall return path before any packet work happens.
+		c.Meter.Charge(c.Meter.Model.Interrupt + c.Meter.Model.Syscall)
+		if at < c.busyUntil {
+			at = c.busyUntil
+		}
+		c.sched.WakeAt(c.task, at)
+		return
+	}
+	// The core is running (or queued to run): the hardware interrupt
+	// still fires at `at` and must not be swallowed by an earlier queued
+	// step — remember it for delivery when the core goes idle.
+	if c.pending == 0 || at < c.pending {
+		c.pending = at
+	}
+}
+
+// Task exposes the scheduler handle (tests/diagnostics).
+func (c *IRQCore) Task() *sim.Task { return c.task }
+
+// Step implements sim.Actor.
+func (c *IRQCore) Step(now units.Time) (units.Time, bool) {
+	did := c.poll(now, c.Meter)
+	d := c.Meter.Drain()
+	if d <= 0 {
+		d = units.Nanosecond
+	}
+	c.busyUntil = now + d
+	if c.pending != 0 && c.pending <= now {
+		c.pending = 0 // delivered: this poll saw the signalled work
+	}
+	if did {
+		return c.busyUntil, true
+	}
+	if c.pending != 0 {
+		// An undelivered interrupt is outstanding: stay armed for it
+		// (NAPI-style, no fresh interrupt cost).
+		at := c.pending
+		c.pending = 0
+		if at < c.busyUntil {
+			at = c.busyUntil
+		}
+		return at, true
+	}
+	// Sleep, then re-enable device interrupts: a device with work (now
+	// or in flight) immediately schedules the next wake.
+	c.sleeping = true
+	for _, f := range c.onSleep {
+		f(now)
+	}
+	return 0, false
+}
+
+// AddSleeper registers a device re-arm callback (see onSleep).
+func (c *IRQCore) AddSleeper(f func(now units.Time)) { c.onSleep = append(c.onSleep, f) }

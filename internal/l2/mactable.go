@@ -1,0 +1,80 @@
+// Package l2 provides the MAC learning table shared by the L2 switch data
+// planes (VALE, VPP's learning bridge, OvS's NORMAL action).
+package l2
+
+import (
+	"repro/internal/pkt"
+	"repro/internal/units"
+)
+
+type entry struct {
+	port     int
+	lastSeen units.Time
+}
+
+// MACTable is a bounded source-learning table with aging.
+type MACTable struct {
+	entries map[pkt.MAC]entry
+	cap     int
+	ttl     units.Time
+
+	// Learns, Hits, Misses, Evictions count table activity.
+	Learns, Hits, Misses, Evictions int64
+}
+
+// NewMACTable returns a table bounded to capacity entries whose entries age
+// out after ttl (0 = never).
+func NewMACTable(capacity int, ttl units.Time) *MACTable {
+	if capacity <= 0 {
+		panic("l2: non-positive capacity")
+	}
+	return &MACTable{entries: make(map[pkt.MAC]entry, capacity), cap: capacity, ttl: ttl}
+}
+
+// Learn records that mac was seen as a source on port at time now.
+func (t *MACTable) Learn(mac pkt.MAC, port int, now units.Time) {
+	if mac.IsMulticast() {
+		return // source multicast is never learned
+	}
+	if _, ok := t.entries[mac]; !ok {
+		if len(t.entries) >= t.cap {
+			t.evictOldest()
+		}
+		t.Learns++
+	}
+	t.entries[mac] = entry{port: port, lastSeen: now}
+}
+
+func (t *MACTable) evictOldest() {
+	var oldest pkt.MAC
+	var oldestAt units.Time = 1<<63 - 1
+	for m, e := range t.entries {
+		if e.lastSeen < oldestAt {
+			oldest, oldestAt = m, e.lastSeen
+		}
+	}
+	delete(t.entries, oldest)
+	t.Evictions++
+}
+
+// Lookup returns the port mac was learned on, or ok=false for a miss
+// (unknown, aged out, or broadcast/multicast — which must flood).
+func (t *MACTable) Lookup(mac pkt.MAC, now units.Time) (port int, ok bool) {
+	if mac.IsMulticast() {
+		t.Misses++
+		return 0, false
+	}
+	e, found := t.entries[mac]
+	if !found || (t.ttl > 0 && now-e.lastSeen > t.ttl) {
+		if found {
+			delete(t.entries, mac)
+		}
+		t.Misses++
+		return 0, false
+	}
+	t.Hits++
+	return e.port, true
+}
+
+// Len returns the number of live entries.
+func (t *MACTable) Len() int { return len(t.entries) }

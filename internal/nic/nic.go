@@ -1,0 +1,267 @@
+// Package nic models physical Ethernet ports and the wires between them.
+//
+// A Port paces transmission at line rate (including preamble and inter-frame
+// gap), queues frames in a bounded TX ring, delivers them to the peer port
+// after the serialization delay, and stages arrivals into a bounded RX
+// descriptor ring from which a consumer polls bursts. Frames that arrive
+// while the RX ring is full are dropped and counted, exactly like the
+// paper's saturated 82599 ports. Ports optionally timestamp frames in
+// hardware (the Intel 82599 PTP feature MoonGen uses) and can deliver
+// moderated interrupts to an IRQ-driven consumer (the netmap/VALE mode).
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/pkt"
+	"repro/internal/units"
+)
+
+// Config sizes a port.
+type Config struct {
+	Name string
+	Rate units.BitRate // line rate; defaults to 10 GbE
+	// TxRing and RxRing are descriptor counts (defaults 512).
+	TxRing, RxRing int
+	// HWTimestamp enables PTP timestamping of probe frames.
+	HWTimestamp bool
+	// ITR is the interrupt throttling interval for IRQ-bound consumers:
+	// interrupts fire at most once per ITR (82599-style moderation).
+	ITR units.Time
+	// RxLatency is the PHY→descriptor-ring delay (DMA + write-back)
+	// before a received frame becomes visible to the consumer; the
+	// hardware RX timestamp is taken at the PHY, before this delay.
+	// TxLatency is the doorbell→wire delay on transmit.
+	RxLatency, TxLatency units.Time
+}
+
+// Default PCIe/DMA descriptor path delays for a 82599-class NIC.
+const (
+	DefaultRxLatency = 2200 * units.Nanosecond
+	DefaultTxLatency = 1300 * units.Nanosecond
+)
+
+// NoLatency disables a descriptor-path delay (Config fields treat zero as
+// "use the default").
+const NoLatency units.Time = -1
+
+type arrival struct {
+	at    units.Time // when the frame becomes visible (PHY + RxLatency)
+	stamp units.Time // PHY arrival (hardware RX timestamp)
+	buf   *pkt.Buf
+}
+
+// Counters exposes a port's packet accounting.
+type Counters struct {
+	TxPackets, TxBytes int64
+	TxDropsFull        int64 // frames rejected because the TX ring was full
+	RxPackets, RxBytes int64 // frames handed to the consumer
+	RxDropsFull        int64 // frames lost to a full RX ring
+}
+
+// Port is one physical Ethernet port.
+type Port struct {
+	cfg  Config
+	peer *Port
+
+	// TX pacing state: doneTimes holds the wire-completion times of
+	// queued frames (FIFO); busyUntil is when the wire frees up.
+	doneTimes []units.Time
+	busyUntil units.Time
+
+	// RX state: staged holds frames in flight / not yet materialized;
+	// ring is the descriptor ring the consumer drains.
+	staged []arrival
+	ring   []*pkt.Buf
+
+	// Interrupt binding.
+	irq      *cpu.IRQCore
+	irqArmed bool
+	lastIRQ  units.Time // last scheduled fire (ITR ratchet)
+
+	Stats Counters
+}
+
+// NewPort returns a disconnected port.
+func NewPort(cfg Config) *Port {
+	if cfg.Rate == 0 {
+		cfg.Rate = units.TenGigE
+	}
+	if cfg.TxRing == 0 {
+		cfg.TxRing = 512
+	}
+	if cfg.RxRing == 0 {
+		cfg.RxRing = 512
+	}
+	if cfg.RxLatency == 0 {
+		cfg.RxLatency = DefaultRxLatency
+	} else if cfg.RxLatency < 0 {
+		cfg.RxLatency = 0
+	}
+	if cfg.TxLatency == 0 {
+		cfg.TxLatency = DefaultTxLatency
+	} else if cfg.TxLatency < 0 {
+		cfg.TxLatency = 0
+	}
+	return &Port{cfg: cfg}
+}
+
+// Connect wires two ports back to back (full duplex).
+func Connect(a, b *Port) {
+	a.peer = b
+	b.peer = a
+}
+
+// Name returns the port's configured name.
+func (p *Port) Name() string { return p.cfg.Name }
+
+// Rate returns the line rate.
+func (p *Port) Rate() units.BitRate { return p.cfg.Rate }
+
+// BindIRQ attaches an interrupt-driven consumer core. Arrivals schedule a
+// throttled wake; the core re-arms the port when it goes back to sleep.
+func (p *Port) BindIRQ(c *cpu.IRQCore) {
+	p.irq = c
+	c.AddSleeper(p.ReArm)
+}
+
+// scheduleIRQ arms one interrupt no earlier than `earliest`, honouring the
+// ITR throttle. A port keeps at most one interrupt outstanding; the
+// consumer re-arms via ReArm when it finishes polling.
+func (p *Port) scheduleIRQ(earliest units.Time) {
+	if p.irq == nil || p.irqArmed {
+		return
+	}
+	fire := earliest
+	if t := p.lastIRQ + p.cfg.ITR; t > fire {
+		fire = t
+	}
+	p.irqArmed = true
+	p.lastIRQ = fire
+	p.irq.Wake(fire)
+}
+
+// ReArm re-enables the port's interrupt after the consumer exits its poll
+// loop at time now (the NAPI contract): if frames are waiting — or still
+// in flight toward the descriptor ring — the next interrupt is scheduled.
+func (p *Port) ReArm(now units.Time) {
+	if p.irq == nil {
+		return
+	}
+	p.irqArmed = false
+	switch {
+	case len(p.ring) > 0:
+		p.scheduleIRQ(now)
+	case len(p.staged) > 0:
+		earliest := p.staged[0].at
+		if earliest < now {
+			earliest = now
+		}
+		p.scheduleIRQ(earliest)
+	}
+}
+
+// purgeTx drops completed frames from the TX occupancy window.
+func (p *Port) purgeTx(now units.Time) {
+	i := 0
+	for i < len(p.doneTimes) && p.doneTimes[i] <= now {
+		i++
+	}
+	if i > 0 {
+		p.doneTimes = p.doneTimes[:copy(p.doneTimes, p.doneTimes[i:])]
+	}
+}
+
+// TxFree returns the number of free TX descriptors at time now.
+func (p *Port) TxFree(now units.Time) int {
+	p.purgeTx(now)
+	return p.cfg.TxRing - len(p.doneTimes)
+}
+
+// Send enqueues one frame for transmission at time now. On success the port
+// takes ownership and returns true; if the TX ring is full the frame is
+// rejected (caller keeps ownership) and the drop is counted.
+func (p *Port) Send(now units.Time, b *pkt.Buf) bool {
+	if p.peer == nil {
+		panic(fmt.Sprintf("nic: port %s not connected", p.cfg.Name))
+	}
+	p.purgeTx(now)
+	if len(p.doneTimes) >= p.cfg.TxRing {
+		p.Stats.TxDropsFull++
+		return false
+	}
+	start := now + p.cfg.TxLatency
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	done := start + p.cfg.Rate.WireTime(b.Len())
+	p.busyUntil = done
+	p.doneTimes = append(p.doneTimes, done)
+	p.Stats.TxPackets++
+	p.Stats.TxBytes += int64(b.Len())
+	if p.cfg.HWTimestamp && b.Probe && b.TxStamp == 0 {
+		// The NIC stamps the probe as the frame hits the wire.
+		b.TxStamp = done
+	}
+	p.peer.arrive(done, b)
+	return true
+}
+
+// BusyUntil returns the time at which all queued frames will have left the
+// wire — the natural pacing point for a saturating generator.
+func (p *Port) BusyUntil() units.Time { return p.busyUntil }
+
+// arrive stages an inbound frame hitting the PHY at time at; it becomes
+// visible to the consumer after the descriptor path delay.
+func (p *Port) arrive(at units.Time, b *pkt.Buf) {
+	avail := at + p.cfg.RxLatency
+	p.staged = append(p.staged, arrival{at: avail, stamp: at, buf: b})
+	p.scheduleIRQ(avail)
+}
+
+// materialize moves arrivals that completed by now into the RX ring,
+// dropping (and freeing) those that find it full.
+func (p *Port) materialize(now units.Time) {
+	i := 0
+	for i < len(p.staged) && p.staged[i].at <= now {
+		a := p.staged[i]
+		i++
+		if len(p.ring) >= p.cfg.RxRing {
+			p.Stats.RxDropsFull++
+			a.buf.Free()
+			continue
+		}
+		a.buf.Ingress = a.stamp
+		p.ring = append(p.ring, a.buf)
+	}
+	if i > 0 {
+		p.staged = p.staged[:copy(p.staged, p.staged[i:])]
+	}
+}
+
+// RxBurst moves up to len(out) received frames to out, returning the count.
+// Ownership of returned buffers passes to the caller. It performs no cost
+// accounting: the consuming device driver model charges for the burst.
+func (p *Port) RxBurst(now units.Time, out []*pkt.Buf) int {
+	p.materialize(now)
+	n := copy(out, p.ring)
+	if n > 0 {
+		rest := copy(p.ring, p.ring[n:])
+		for j := rest; j < len(p.ring); j++ {
+			p.ring[j] = nil
+		}
+		p.ring = p.ring[:rest]
+		for _, b := range out[:n] {
+			p.Stats.RxPackets++
+			p.Stats.RxBytes += int64(b.Len())
+		}
+	}
+	return n
+}
+
+// RxPending returns how many frames are ready to be polled at time now.
+func (p *Port) RxPending(now units.Time) int {
+	p.materialize(now)
+	return len(p.ring)
+}

@@ -1,0 +1,214 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/cpu"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func pair(t *testing.T, acfg, bcfg Config) (*Port, *Port) {
+	t.Helper()
+	acfg.RxLatency, acfg.TxLatency = NoLatency, NoLatency
+	bcfg.RxLatency, bcfg.TxLatency = NoLatency, NoLatency
+	a, b := NewPort(acfg), NewPort(bcfg)
+	Connect(a, b)
+	return a, b
+}
+
+func TestSendPacesAtLineRate(t *testing.T) {
+	a, b := pair(t, Config{Name: "a"}, Config{Name: "b"})
+	pool := pkt.NewPool(2048)
+	// Send three 64B frames at t=0; they serialize back to back.
+	for i := 0; i < 3; i++ {
+		if !a.Send(0, pool.Get(64)) {
+			t.Fatal("send failed")
+		}
+	}
+	if want := 3 * 67200 * units.Picosecond; a.BusyUntil() != want {
+		t.Fatalf("busyUntil = %v, want %v", a.BusyUntil(), want)
+	}
+	// At 67.2ns only the first frame has fully arrived.
+	if n := b.RxPending(67200 * units.Picosecond); n != 1 {
+		t.Fatalf("pending after 1 frame time = %d", n)
+	}
+	if n := b.RxPending(3 * 67200 * units.Picosecond); n != 3 {
+		t.Fatalf("pending after 3 frame times = %d", n)
+	}
+}
+
+func TestRxBurstDrains(t *testing.T) {
+	a, b := pair(t, Config{}, Config{})
+	pool := pkt.NewPool(2048)
+	for i := 0; i < 5; i++ {
+		a.Send(0, pool.Get(64))
+	}
+	out := make([]*pkt.Buf, 3)
+	n := b.RxBurst(units.Microsecond, out)
+	if n != 3 {
+		t.Fatalf("burst = %d", n)
+	}
+	if out[0].Ingress != 67200*units.Picosecond {
+		t.Fatalf("ingress = %v", out[0].Ingress)
+	}
+	if n := b.RxBurst(units.Microsecond, out); n != 2 {
+		t.Fatalf("second burst = %d", n)
+	}
+	if b.Stats.RxPackets != 5 {
+		t.Fatalf("rx packets = %d", b.Stats.RxPackets)
+	}
+	for _, buf := range out[:2] {
+		buf.Free()
+	}
+}
+
+func TestTxRingOverflow(t *testing.T) {
+	a, _ := pair(t, Config{TxRing: 4}, Config{})
+	pool := pkt.NewPool(2048)
+	sent := 0
+	for i := 0; i < 10; i++ {
+		b := pool.Get(64)
+		if a.Send(0, b) {
+			sent++
+		} else {
+			b.Free()
+		}
+	}
+	if sent != 4 {
+		t.Fatalf("sent = %d, want ring size 4", sent)
+	}
+	if a.Stats.TxDropsFull != 6 {
+		t.Fatalf("tx drops = %d", a.Stats.TxDropsFull)
+	}
+	// After the wire drains, sending succeeds again.
+	if !a.Send(units.Millisecond, pool.Get(64)) {
+		t.Fatal("send after drain failed")
+	}
+}
+
+func TestRxRingOverflowDropsAndFrees(t *testing.T) {
+	a, b := pair(t, Config{TxRing: 4096}, Config{RxRing: 8})
+	pool := pkt.NewPool(2048)
+	for i := 0; i < 20; i++ {
+		a.Send(0, pool.Get(64))
+	}
+	// Materialize everything at once: only 8 fit, 12 drop.
+	if n := b.RxPending(units.Millisecond); n != 8 {
+		t.Fatalf("pending = %d", n)
+	}
+	if b.Stats.RxDropsFull != 12 {
+		t.Fatalf("rx drops = %d", b.Stats.RxDropsFull)
+	}
+	// Dropped buffers went back to the pool: 20 live minus 12 freed.
+	if pool.Live() != 8 {
+		t.Fatalf("live bufs = %d", pool.Live())
+	}
+}
+
+func TestHWTimestampOnProbe(t *testing.T) {
+	a, b := pair(t, Config{HWTimestamp: true}, Config{})
+	pool := pkt.NewPool(2048)
+	probe := pool.Get(64)
+	probe.Probe = true
+	a.Send(0, probe)
+	plain := pool.Get(64)
+	a.Send(0, plain)
+	if probe.TxStamp != 67200*units.Picosecond {
+		t.Fatalf("probe TxStamp = %v", probe.TxStamp)
+	}
+	if plain.TxStamp != 0 {
+		t.Fatal("non-probe frame stamped")
+	}
+	// A pre-stamped probe (software timestamping) is not overwritten.
+	sw := pool.Get(64)
+	sw.Probe = true
+	sw.TxStamp = 5 * units.Nanosecond
+	a.Send(units.Microsecond, sw)
+	if sw.TxStamp != 5*units.Nanosecond {
+		t.Fatal("software timestamp overwritten")
+	}
+	_ = b
+}
+
+func TestIRQModeration(t *testing.T) {
+	s := sim.NewScheduler()
+	itr := 30 * units.Microsecond
+	a, b := pair(t, Config{TxRing: 4096}, Config{ITR: itr, RxRing: 4096})
+	pool := pkt.NewPool(2048)
+
+	var polled int
+	m := cost.NewMeter(cost.Default(), sim.NewRNG(1))
+	core := cpu.NewIRQCore(s, "irq", m, func(now units.Time, mt *cost.Meter) bool {
+		out := make([]*pkt.Buf, 64)
+		n := b.RxBurst(now, out)
+		for _, buf := range out[:n] {
+			buf.Free()
+		}
+		polled += n
+		mt.Charge(100)
+		return n > 0
+	})
+	b.BindIRQ(core)
+
+	// 10 frames sent at t=0 arrive within ~0.7us; the moderated interrupt
+	// fires at first-arrival + ITR and one wake handles all of them.
+	for i := 0; i < 10; i++ {
+		a.Send(0, pool.Get(64))
+	}
+	s.RunUntil(10 * units.Millisecond)
+	if polled != 10 {
+		t.Fatalf("polled = %d", polled)
+	}
+	if core.Wakeups != 1 {
+		t.Fatalf("wakeups = %d, want 1 (moderation)", core.Wakeups)
+	}
+	if s.Now() < itr {
+		t.Fatalf("interrupt fired before ITR: %v", s.Now())
+	}
+}
+
+func TestSendUnconnectedPanics(t *testing.T) {
+	p := NewPort(Config{Name: "lonely", RxLatency: NoLatency, TxLatency: NoLatency})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	p.Send(0, pkt.NewPool(64).Get(64))
+}
+
+func TestTxFreeAccounting(t *testing.T) {
+	a, _ := pair(t, Config{TxRing: 16}, Config{})
+	pool := pkt.NewPool(2048)
+	if a.TxFree(0) != 16 {
+		t.Fatalf("free = %d", a.TxFree(0))
+	}
+	for i := 0; i < 10; i++ {
+		a.Send(0, pool.Get(64))
+	}
+	if a.TxFree(0) != 6 {
+		t.Fatalf("free = %d", a.TxFree(0))
+	}
+	// 5 frames complete by 5*67.2ns.
+	if got := a.TxFree(5 * 67200 * units.Picosecond); got != 11 {
+		t.Fatalf("free after partial drain = %d", got)
+	}
+}
+
+func TestBidirectionalIndependence(t *testing.T) {
+	a, b := pair(t, Config{}, Config{})
+	pool := pkt.NewPool(2048)
+	a.Send(0, pool.Get(1024))
+	b.Send(0, pool.Get(64))
+	// Full duplex: b's 64B frame arrives at a in 67.2ns even though a's
+	// 1024B frame is still serializing toward b.
+	if n := a.RxPending(70 * units.Nanosecond); n != 1 {
+		t.Fatalf("a pending = %d", n)
+	}
+	if n := b.RxPending(70 * units.Nanosecond); n != 0 {
+		t.Fatalf("b pending = %d", n)
+	}
+}

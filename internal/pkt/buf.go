@@ -1,0 +1,136 @@
+// Package pkt provides packet buffers, a free-list pool, and from-scratch
+// Ethernet/IPv4/UDP header parsing and serialization.
+//
+// Buffers are single-owner: whichever component holds a *Buf is responsible
+// for eventually freeing it (or handing it off). Copies — the expensive
+// operation that vhost-user imposes and ptnet avoids — are always explicit.
+package pkt
+
+import (
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Buf is one packet buffer plus simulation metadata.
+type Buf struct {
+	data []byte // backing storage, fixed capacity
+	len  int    // frame length
+
+	// Seq is a generator-assigned sequence number.
+	Seq uint64
+	// Probe marks latency-measurement (PTP) packets.
+	Probe bool
+	// TxStamp is the probe's transmit timestamp: hardware (taken by the
+	// NIC as the frame hits the wire) in p2p/loopback runs, software
+	// (taken by the generator) in v2v runs.
+	TxStamp units.Time
+	// Ingress is the time the frame finished arriving at the last
+	// receiving port (hardware RX timestamp).
+	Ingress units.Time
+	// AvailAt gates visibility to the next consumer (virtio guest
+	// notification delay); zero means immediately visible.
+	AvailAt units.Time
+
+	pool   *Pool
+	inPool bool
+}
+
+// Bytes returns the frame contents.
+func (b *Buf) Bytes() []byte { return b.data[:b.len] }
+
+// Len returns the frame length in bytes.
+func (b *Buf) Len() int { return b.len }
+
+// SetLen resizes the frame within the buffer's capacity.
+func (b *Buf) SetLen(n int) {
+	if n < 0 || n > cap(b.data) {
+		panic(fmt.Sprintf("pkt: SetLen(%d) outside capacity %d", n, cap(b.data)))
+	}
+	b.data = b.data[:cap(b.data)]
+	b.len = n
+}
+
+// CopyFrom replaces b's contents and metadata with src's. This is the
+// primitive behind vhost-user's per-packet copies.
+func (b *Buf) CopyFrom(src *Buf) {
+	b.SetLen(src.len)
+	copy(b.data[:src.len], src.data[:src.len])
+	b.Seq = src.Seq
+	b.Probe = src.Probe
+	b.TxStamp = src.TxStamp
+	b.Ingress = src.Ingress
+	b.AvailAt = src.AvailAt
+}
+
+// Free returns the buffer to its pool. Freeing a pool-less buffer is a no-op;
+// double frees panic.
+func (b *Buf) Free() {
+	if b.pool != nil {
+		b.pool.put(b)
+	}
+}
+
+// Pool is a free list of equal-capacity buffers. It grows on demand so that
+// component buffering limits (rings) — not the pool — bound memory use.
+type Pool struct {
+	free    []*Buf
+	bufSize int
+	live    int // checked-out buffers
+	total   int // ever allocated
+}
+
+// NewPool returns a pool of buffers with the given capacity each.
+func NewPool(bufSize int) *Pool {
+	if bufSize <= 0 {
+		panic("pkt: non-positive buffer size")
+	}
+	return &Pool{bufSize: bufSize}
+}
+
+// Get returns a zero-metadata buffer of the given frame length.
+func (p *Pool) Get(frameLen int) *Buf {
+	if frameLen > p.bufSize {
+		panic(fmt.Sprintf("pkt: frame %dB exceeds pool buffer size %dB", frameLen, p.bufSize))
+	}
+	var b *Buf
+	if n := len(p.free); n > 0 {
+		b = p.free[n-1]
+		p.free[n-1] = nil
+		p.free = p.free[:n-1]
+	} else {
+		b = &Buf{data: make([]byte, p.bufSize), pool: p}
+		p.total++
+	}
+	p.live++
+	b.inPool = false
+	b.len = frameLen
+	b.Seq = 0
+	b.Probe = false
+	b.TxStamp = 0
+	b.Ingress = 0
+	b.AvailAt = 0
+	return b
+}
+
+// Clone returns a pool buffer holding a copy of src.
+func (p *Pool) Clone(src *Buf) *Buf {
+	b := p.Get(src.len)
+	b.CopyFrom(src)
+	return b
+}
+
+func (p *Pool) put(b *Buf) {
+	if b.inPool {
+		panic("pkt: double free")
+	}
+	b.inPool = true
+	p.live--
+	p.free = append(p.free, b)
+}
+
+// Live returns the number of buffers currently checked out.
+func (p *Pool) Live() int { return p.live }
+
+// Allocated returns the number of buffers ever created by the pool.
+func (p *Pool) Allocated() int { return p.total }

@@ -1,0 +1,97 @@
+package pkt
+
+import (
+	"encoding/binary"
+
+	"repro/internal/units"
+)
+
+// FrameSpec describes the synthetic UDP-in-IPv4-in-Ethernet frames the
+// traffic generators emit — the paper's "synthetic traffic of identical
+// packets, corresponding to a single flow".
+type FrameSpec struct {
+	SrcMAC, DstMAC   MAC
+	SrcIP, DstIP     [4]byte
+	SrcPort, DstPort uint16
+	FrameLen         int // total Ethernet frame length in bytes
+}
+
+// MinProbeFrameLen is the smallest frame that can carry a probe payload.
+const MinProbeFrameLen = EthHdrLen + IPv4HdrLen + UDPHdrLen + probeLen
+
+// Build writes the frame into buf (which must have FrameLen capacity).
+func (s FrameSpec) Build(b *Buf) {
+	if s.FrameLen < MinProbeFrameLen {
+		panic("pkt: frame too short for headers")
+	}
+	b.SetLen(s.FrameLen)
+	p := b.Bytes()
+	EthHdr{Dst: s.DstMAC, Src: s.SrcMAC, EtherType: EtherTypeIPv4}.Put(p)
+	ip := IPv4Hdr{
+		TotalLen: uint16(s.FrameLen - EthHdrLen),
+		TTL:      64,
+		Proto:    ProtoUDP,
+		Src:      s.SrcIP,
+		Dst:      s.DstIP,
+	}
+	ip.Put(p[EthHdrLen:])
+	udp := UDPHdr{
+		SrcPort: s.SrcPort,
+		DstPort: s.DstPort,
+		Len:     uint16(s.FrameLen - EthHdrLen - IPv4HdrLen),
+	}
+	udp.Put(p[EthHdrLen+IPv4HdrLen:])
+	for i := EthHdrLen + IPv4HdrLen + UDPHdrLen; i < s.FrameLen; i++ {
+		p[i] = 0
+	}
+}
+
+// Probe payload layout (inside the UDP payload), mimicking MoonGen's PTP
+// timestamping packets: a magic marker, a sequence number, and the TX
+// timestamp.
+const (
+	probeMagic  = 0x50545030 // "PTP0"
+	probeLen    = 4 + 8 + 8
+	probeOffset = EthHdrLen + IPv4HdrLen + UDPHdrLen
+)
+
+// MarkProbe stamps b as a latency probe with the given sequence number and
+// transmit timestamp, writing the probe payload into the frame.
+func MarkProbe(b *Buf, seq uint64, tx units.Time) {
+	p := b.Bytes()
+	binary.BigEndian.PutUint32(p[probeOffset:], probeMagic)
+	binary.BigEndian.PutUint64(p[probeOffset+4:], seq)
+	binary.BigEndian.PutUint64(p[probeOffset+12:], uint64(tx))
+	b.Probe = true
+	b.Seq = seq
+	b.TxStamp = tx
+}
+
+// ProbeInfo extracts the probe sequence and TX timestamp from a frame, if it
+// carries the probe marker.
+func ProbeInfo(b *Buf) (seq uint64, tx units.Time, ok bool) {
+	p := b.Bytes()
+	if len(p) < probeOffset+probeLen {
+		return 0, 0, false
+	}
+	if binary.BigEndian.Uint32(p[probeOffset:]) != probeMagic {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint64(p[probeOffset+4:]),
+		units.Time(binary.BigEndian.Uint64(p[probeOffset+12:])),
+		true
+}
+
+// PatchFlow rewrites an already-built frame to belong to flow index i of a
+// multi-flow stream: the source MAC's low bytes and the UDP source port are
+// offset by i. (The IPv4 header checksum does not cover either field, and
+// the generators leave the UDP checksum zero, so no recomputation is
+// needed.)
+func PatchFlow(b *Buf, spec FrameSpec, i int) {
+	p := b.Bytes()
+	mac := spec.SrcMAC
+	mac[4] += byte(i >> 8)
+	mac[5] += byte(i)
+	SetEthSrc(p, mac)
+	binary.BigEndian.PutUint16(p[EthHdrLen+IPv4HdrLen:], spec.SrcPort+uint16(i))
+}

@@ -1,0 +1,334 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestPoolReuse(t *testing.T) {
+	p := NewPool(2048)
+	a := p.Get(64)
+	if p.Live() != 1 || p.Allocated() != 1 {
+		t.Fatalf("live=%d allocated=%d", p.Live(), p.Allocated())
+	}
+	a.Free()
+	b := p.Get(128)
+	if p.Allocated() != 1 {
+		t.Fatalf("expected reuse, allocated=%d", p.Allocated())
+	}
+	if b.Len() != 128 {
+		t.Fatalf("len=%d", b.Len())
+	}
+	if b.Probe || b.Seq != 0 || b.TxStamp != 0 {
+		t.Fatal("metadata not reset on reuse")
+	}
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := NewPool(64)
+	b := p.Get(64)
+	b.Free()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	b.Free()
+}
+
+func TestPoolGrows(t *testing.T) {
+	p := NewPool(64)
+	var bufs []*Buf
+	for i := 0; i < 100; i++ {
+		bufs = append(bufs, p.Get(64))
+	}
+	if p.Allocated() != 100 || p.Live() != 100 {
+		t.Fatalf("allocated=%d live=%d", p.Allocated(), p.Live())
+	}
+	for _, b := range bufs {
+		b.Free()
+	}
+	if p.Live() != 0 {
+		t.Fatalf("live=%d after freeing all", p.Live())
+	}
+}
+
+func TestBufCopyFrom(t *testing.T) {
+	p := NewPool(256)
+	src := p.Get(100)
+	for i := range src.Bytes() {
+		src.Bytes()[i] = byte(i)
+	}
+	src.Seq, src.Probe, src.TxStamp = 42, true, 7*units.Microsecond
+	dst := p.Get(64)
+	dst.CopyFrom(src)
+	if dst.Len() != 100 || !bytes.Equal(dst.Bytes(), src.Bytes()) {
+		t.Fatal("payload not copied")
+	}
+	if dst.Seq != 42 || !dst.Probe || dst.TxStamp != 7*units.Microsecond {
+		t.Fatal("metadata not copied")
+	}
+}
+
+func TestMACRoundTrip(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	s := m.String()
+	if s != "de:ad:be:ef:00:01" {
+		t.Fatalf("String = %q", s)
+	}
+	back, err := ParseMAC(s)
+	if err != nil || back != m {
+		t.Fatalf("ParseMAC(%q) = %v, %v", s, back, err)
+	}
+	if _, err := ParseMAC("zz:00:00:00:00:00"); err == nil {
+		t.Fatal("bad MAC accepted")
+	}
+	if _, err := ParseMAC("short"); err == nil {
+		t.Fatal("short MAC accepted")
+	}
+}
+
+func TestMACClassification(t *testing.T) {
+	if !Broadcast.IsBroadcast() || !Broadcast.IsMulticast() {
+		t.Fatal("broadcast misclassified")
+	}
+	uni := MAC{0x02, 0, 0, 0, 0, 1}
+	if uni.IsBroadcast() || uni.IsMulticast() {
+		t.Fatal("unicast misclassified")
+	}
+	multi := MAC{0x01, 0, 0x5e, 0, 0, 1}
+	if !multi.IsMulticast() || multi.IsBroadcast() {
+		t.Fatal("multicast misclassified")
+	}
+}
+
+func TestEthRoundTripProperty(t *testing.T) {
+	f := func(dst, src [6]byte, et uint16) bool {
+		h := EthHdr{Dst: MAC(dst), Src: MAC(src), EtherType: et}
+		var b [EthHdrLen]byte
+		h.Put(b[:])
+		got, err := ParseEth(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEthAccessors(t *testing.T) {
+	h := EthHdr{Dst: MAC{1, 2, 3, 4, 5, 6}, Src: MAC{7, 8, 9, 10, 11, 12}, EtherType: EtherTypeIPv4}
+	var b [64]byte
+	h.Put(b[:])
+	if EthDst(b[:]) != h.Dst || EthSrc(b[:]) != h.Src {
+		t.Fatal("accessor mismatch")
+	}
+	SetEthDst(b[:], MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff})
+	if EthDst(b[:]) != (MAC{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff}) {
+		t.Fatal("SetEthDst failed")
+	}
+	SetEthSrc(b[:], MAC{1, 1, 1, 1, 1, 1})
+	if EthSrc(b[:]) != (MAC{1, 1, 1, 1, 1, 1}) {
+		t.Fatal("SetEthSrc failed")
+	}
+}
+
+func TestParseEthTruncated(t *testing.T) {
+	if _, err := ParseEth(make([]byte, 13)); err != ErrTruncated {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestIPv4RoundTripProperty(t *testing.T) {
+	f := func(tos uint8, tl, id uint16, ttl, proto uint8, src, dst [4]byte) bool {
+		h := IPv4Hdr{TOS: tos, TotalLen: tl, ID: id, TTL: ttl, Proto: proto, Src: src, Dst: dst}
+		var b [IPv4HdrLen]byte
+		h.Put(b[:])
+		got, err := ParseIPv4(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	h := IPv4Hdr{TotalLen: 50, TTL: 64, Proto: ProtoUDP, Src: [4]byte{10, 0, 0, 1}, Dst: [4]byte{10, 0, 0, 2}}
+	var b [IPv4HdrLen]byte
+	h.Put(b[:])
+	b[8] ^= 0xff // corrupt TTL
+	if _, err := ParseIPv4(b[:]); err != ErrChecksum {
+		t.Fatalf("err = %v, want checksum error", err)
+	}
+}
+
+func TestIPv4RejectsNonIPv4(t *testing.T) {
+	var b [IPv4HdrLen]byte
+	b[0] = 0x60 // IPv6
+	if _, err := ParseIPv4(b[:]); err != ErrVersion {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ParseIPv4(b[:10]); err != ErrTruncated {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// Classic RFC 1071 example header.
+	b := []byte{
+		0x45, 0x00, 0x00, 0x73, 0x00, 0x00, 0x40, 0x00, 0x40, 0x11,
+		0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0xc7,
+	}
+	if got := Checksum16(b); got != 0xb861 {
+		t.Fatalf("checksum = %#04x, want 0xb861", got)
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	f := func(sp, dp, l uint16) bool {
+		h := UDPHdr{SrcPort: sp, DstPort: dp, Len: l}
+		var b [UDPHdrLen]byte
+		h.Put(b[:])
+		got, err := ParseUDP(b[:])
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseUDP(make([]byte, 4)); err != ErrTruncated {
+		t.Fatal("truncated UDP accepted")
+	}
+}
+
+func TestFrameSpecBuildParses(t *testing.T) {
+	p := NewPool(2048)
+	spec := FrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+		SrcPort: 1234, DstPort: 5678, FrameLen: 64,
+	}
+	b := p.Get(64)
+	spec.Build(b)
+	if b.Len() != 64 {
+		t.Fatalf("len=%d", b.Len())
+	}
+	eth, err := ParseEth(b.Bytes())
+	if err != nil || eth.Dst != spec.DstMAC || eth.EtherType != EtherTypeIPv4 {
+		t.Fatalf("eth = %+v, %v", eth, err)
+	}
+	ip, err := ParseIPv4(b.Bytes()[EthHdrLen:])
+	if err != nil || ip.Proto != ProtoUDP || ip.TotalLen != 50 {
+		t.Fatalf("ip = %+v, %v", ip, err)
+	}
+	udp, err := ParseUDP(b.Bytes()[EthHdrLen+IPv4HdrLen:])
+	if err != nil || udp.DstPort != 5678 {
+		t.Fatalf("udp = %+v, %v", udp, err)
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	p := NewPool(2048)
+	spec := FrameSpec{FrameLen: 64, SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2}}
+	b := p.Get(64)
+	spec.Build(b)
+	if _, _, ok := ProbeInfo(b); ok {
+		t.Fatal("non-probe frame recognized as probe")
+	}
+	MarkProbe(b, 99, 123*units.Microsecond)
+	seq, tx, ok := ProbeInfo(b)
+	if !ok || seq != 99 || tx != 123*units.Microsecond {
+		t.Fatalf("probe = %d, %v, %v", seq, tx, ok)
+	}
+	// Probe survives a copy (vhost path).
+	c := p.Clone(b)
+	seq, tx, ok = ProbeInfo(c)
+	if !ok || seq != 99 || tx != 123*units.Microsecond {
+		t.Fatal("probe lost in copy")
+	}
+}
+
+func TestFrameTooShortPanics(t *testing.T) {
+	p := NewPool(64)
+	b := p.Get(40)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short frame did not panic")
+		}
+	}()
+	FrameSpec{FrameLen: 40}.Build(b)
+}
+
+func TestVLANPushPop(t *testing.T) {
+	p := NewPool(2048)
+	b := p.Get(64)
+	FrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+		SrcPort: 1, DstPort: 2, FrameLen: 64,
+	}.Build(b)
+	orig := append([]byte(nil), b.Bytes()...)
+
+	if _, ok := VLANID(b.Bytes()); ok {
+		t.Fatal("untagged frame reports a VLAN")
+	}
+	PushVLAN(b, 100)
+	if b.Len() != 68 {
+		t.Fatalf("len after push = %d", b.Len())
+	}
+	id, ok := VLANID(b.Bytes())
+	if !ok || id != 100 {
+		t.Fatalf("vlan = %d, %v", id, ok)
+	}
+	// MACs untouched, inner payload after the tag intact.
+	if EthDst(b.Bytes()) != (MAC{2, 0, 0, 0, 0, 2}) {
+		t.Fatal("dst MAC moved")
+	}
+	if !PopVLAN(b) {
+		t.Fatal("pop failed")
+	}
+	if b.Len() != 64 || string(b.Bytes()) != string(orig) {
+		t.Fatal("pop did not restore the original frame")
+	}
+	if PopVLAN(b) {
+		t.Fatal("pop on untagged frame succeeded")
+	}
+}
+
+func TestVLANIDMasksPCP(t *testing.T) {
+	p := NewPool(2048)
+	b := p.Get(64)
+	FrameSpec{SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2}, FrameLen: 64}.Build(b)
+	PushVLAN(b, 0x0fff)
+	// Set PCP bits on the wire; VLANID must mask them off.
+	b.Bytes()[14] |= 0xe0
+	id, ok := VLANID(b.Bytes())
+	if !ok || id != 0x0fff {
+		t.Fatalf("vlan = %#x", id)
+	}
+}
+
+func TestPatchFlowVariesSrcFields(t *testing.T) {
+	p := NewPool(2048)
+	spec := FrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcPort: 1000, DstPort: 2000, FrameLen: 64,
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		b := p.Get(64)
+		spec.Build(b)
+		PatchFlow(b, spec, i)
+		key := string(b.Bytes()[6:12]) + string(b.Bytes()[EthHdrLen+IPv4HdrLen:EthHdrLen+IPv4HdrLen+2])
+		if seen[key] {
+			t.Fatalf("flow %d collides", i)
+		}
+		seen[key] = true
+		// Destination stays fixed (the forwarding key).
+		if EthDst(b.Bytes()) != spec.DstMAC {
+			t.Fatal("dst MAC changed")
+		}
+		b.Free()
+	}
+}

@@ -1,0 +1,94 @@
+// Package ring provides the bounded single-producer/single-consumer packet
+// queues that back virtio vrings, netmap rings, and inter-module links.
+package ring
+
+import "repro/internal/pkt"
+
+// SPSC is a bounded FIFO of packet buffers. The zero value is unusable; use
+// New. (The simulation is single-goroutine, so no atomics are needed — the
+// "SPSC" in the name records the modelled hardware discipline.)
+type SPSC struct {
+	buf   []*pkt.Buf
+	head  int // next pop
+	count int
+
+	// Drops counts rejected pushes (ring full).
+	Drops int64
+	// Pushed and Popped count successful operations.
+	Pushed, Popped int64
+}
+
+// New returns a ring holding up to capacity buffers.
+func New(capacity int) *SPSC {
+	if capacity <= 0 {
+		panic("ring: non-positive capacity")
+	}
+	return &SPSC{buf: make([]*pkt.Buf, capacity)}
+}
+
+// Cap returns the ring capacity.
+func (r *SPSC) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued buffers.
+func (r *SPSC) Len() int { return r.count }
+
+// Free returns the remaining slots.
+func (r *SPSC) Free() int { return len(r.buf) - r.count }
+
+// Push enqueues b, returning false (and counting a drop) if full.
+func (r *SPSC) Push(b *pkt.Buf) bool {
+	if r.count == len(r.buf) {
+		r.Drops++
+		return false
+	}
+	r.buf[(r.head+r.count)%len(r.buf)] = b
+	r.count++
+	r.Pushed++
+	return true
+}
+
+// Pop dequeues the oldest buffer, or nil if empty.
+func (r *SPSC) Pop() *pkt.Buf {
+	if r.count == 0 {
+		return nil
+	}
+	b := r.buf[r.head]
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.count--
+	r.Popped++
+	return b
+}
+
+// Peek returns the oldest buffer without removing it, or nil.
+func (r *SPSC) Peek() *pkt.Buf {
+	if r.count == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+// DrainTo pops up to len(out) buffers into out and returns the count.
+func (r *SPSC) DrainTo(out []*pkt.Buf) int {
+	n := 0
+	for n < len(out) {
+		b := r.Pop()
+		if b == nil {
+			break
+		}
+		out[n] = b
+		n++
+	}
+	return n
+}
+
+// FreeAll empties the ring, returning every buffer to its pool.
+func (r *SPSC) FreeAll() {
+	for {
+		b := r.Pop()
+		if b == nil {
+			return
+		}
+		b.Free()
+	}
+}

@@ -1,0 +1,174 @@
+package ring
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	r := New(8)
+	pool := pkt.NewPool(64)
+	for i := 0; i < 5; i++ {
+		b := pool.Get(64)
+		b.Seq = uint64(i)
+		if !r.Push(b) {
+			t.Fatal("push failed")
+		}
+	}
+	for i := 0; i < 5; i++ {
+		b := r.Pop()
+		if b == nil || b.Seq != uint64(i) {
+			t.Fatalf("pop %d = %v", i, b)
+		}
+		b.Free()
+	}
+	if r.Pop() != nil {
+		t.Fatal("pop from empty")
+	}
+}
+
+func TestOverflowCountsDrops(t *testing.T) {
+	r := New(3)
+	pool := pkt.NewPool(64)
+	for i := 0; i < 5; i++ {
+		b := pool.Get(64)
+		if !r.Push(b) {
+			b.Free()
+		}
+	}
+	if r.Len() != 3 || r.Drops != 2 {
+		t.Fatalf("len=%d drops=%d", r.Len(), r.Drops)
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	r := New(4)
+	pool := pkt.NewPool(64)
+	seq := uint64(0)
+	// Exercise wrap repeatedly.
+	for round := 0; round < 10; round++ {
+		for i := 0; i < 3; i++ {
+			b := pool.Get(64)
+			b.Seq = seq
+			seq++
+			r.Push(b)
+		}
+		for i := 0; i < 3; i++ {
+			r.Pop().Free()
+		}
+	}
+	if r.Pushed != 30 || r.Popped != 30 {
+		t.Fatalf("pushed=%d popped=%d", r.Pushed, r.Popped)
+	}
+}
+
+// TestPropertyFIFONoLossNoDup drives a random op sequence against a model
+// queue and checks exact agreement: no loss, no duplication, no reordering.
+func TestPropertyFIFONoLossNoDup(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		capacity := int(capRaw%16) + 1
+		r := New(capacity)
+		pool := pkt.NewPool(64)
+		rng := sim.NewRNG(seed)
+		var model []uint64
+		next := uint64(0)
+		for op := 0; op < 500; op++ {
+			if rng.Bernoulli(0.55) {
+				b := pool.Get(64)
+				b.Seq = next
+				if r.Push(b) {
+					model = append(model, next)
+				} else {
+					if len(model) != capacity {
+						return false // rejected while not full
+					}
+					b.Free()
+				}
+				next++
+			} else {
+				b := r.Pop()
+				if len(model) == 0 {
+					if b != nil {
+						return false
+					}
+					continue
+				}
+				if b == nil || b.Seq != model[0] {
+					return false
+				}
+				model = model[1:]
+				b.Free()
+			}
+			if r.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDrainTo(t *testing.T) {
+	r := New(16)
+	pool := pkt.NewPool(64)
+	for i := 0; i < 10; i++ {
+		r.Push(pool.Get(64))
+	}
+	out := make([]*pkt.Buf, 4)
+	if n := r.DrainTo(out); n != 4 {
+		t.Fatalf("drain = %d", n)
+	}
+	if r.Len() != 6 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	for _, b := range out {
+		b.Free()
+	}
+	big := make([]*pkt.Buf, 32)
+	if n := r.DrainTo(big); n != 6 {
+		t.Fatalf("drain rest = %d", n)
+	}
+	for _, b := range big[:6] {
+		b.Free()
+	}
+}
+
+func TestFreeAll(t *testing.T) {
+	r := New(16)
+	pool := pkt.NewPool(64)
+	for i := 0; i < 10; i++ {
+		r.Push(pool.Get(64))
+	}
+	r.FreeAll()
+	if r.Len() != 0 || pool.Live() != 0 {
+		t.Fatalf("len=%d live=%d", r.Len(), pool.Live())
+	}
+}
+
+func TestPeek(t *testing.T) {
+	r := New(4)
+	if r.Peek() != nil {
+		t.Fatal("peek on empty")
+	}
+	pool := pkt.NewPool(64)
+	b := pool.Get(64)
+	b.Seq = 7
+	r.Push(b)
+	if got := r.Peek(); got == nil || got.Seq != 7 || r.Len() != 1 {
+		t.Fatal("peek wrong")
+	}
+}
+
+func TestNewPanicsOnBadCap(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,79 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic random source (SplitMix64 core).
+// Every component derives its own RNG from the run seed so that adding or
+// reordering components does not perturb unrelated random streams.
+type RNG struct {
+	state uint64
+	// cached second normal variate from Box-Muller
+	haveGauss bool
+	gauss     float64
+}
+
+// NewRNG returns an RNG seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Derive returns an independent RNG deterministically derived from r's seed
+// and the given label, without consuming r's stream.
+func (r *RNG) Derive(label string) *RNG {
+	h := r.state + 0x9e3779b97f4a7c15
+	for _, c := range []byte(label) {
+		h ^= uint64(c)
+		h *= 0xff51afd7ed558ccd
+		h ^= h >> 33
+	}
+	return NewRNG(h)
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v float64
+	for u == 0 {
+		u = r.Float64()
+	}
+	v = r.Float64()
+	mag := math.Sqrt(-2 * math.Log(u))
+	r.gauss = mag * math.Sin(2*math.Pi*v)
+	r.haveGauss = true
+	return mag * math.Cos(2*math.Pi*v)
+}
+
+// ExpFloat64 returns an exponential variate with mean 1.
+func (r *RNG) ExpFloat64() float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -math.Log(u)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,153 @@
+// Package sim provides a deterministic discrete-event scheduler.
+//
+// The whole testbed runs on a single goroutine: every active component
+// (CPU cores, traffic generators, NIC pacers) is an Actor stepped in global
+// timestamp order. Ties are broken by registration order, making every run
+// bit-for-bit reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/units"
+)
+
+// Actor is a simulated active component.
+//
+// Step runs the actor at time now and returns the time of its next step.
+// Returning ok=false parks the actor: it will not run again until something
+// calls Scheduler.WakeAt on its Task (used by interrupt-driven components).
+type Actor interface {
+	Step(now units.Time) (next units.Time, ok bool)
+}
+
+// Task is a scheduler handle for one registered actor.
+type Task struct {
+	actor Actor
+	name  string
+	seq   int // registration order; breaks timestamp ties deterministically
+
+	when      units.Time
+	index     int // heap index, -1 when not queued
+	scheduled bool
+}
+
+// Name returns the name the task was registered under.
+func (t *Task) Name() string { return t.name }
+
+// Scheduled reports whether the task is currently queued to run.
+func (t *Task) Scheduled() bool { return t.scheduled }
+
+// When returns the task's queued run time (meaningless if !Scheduled).
+func (t *Task) When() units.Time { return t.when }
+
+// Scheduler orders and dispatches actor steps.
+type Scheduler struct {
+	now   units.Time
+	queue taskHeap
+	tasks []*Task
+	steps uint64
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler { return &Scheduler{} }
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() units.Time { return s.now }
+
+// Steps returns the total number of actor steps dispatched so far.
+func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// Register adds an actor (initially parked) and returns its task handle.
+func (s *Scheduler) Register(name string, a Actor) *Task {
+	t := &Task{actor: a, name: name, seq: len(s.tasks), index: -1}
+	s.tasks = append(s.tasks, t)
+	return t
+}
+
+// WakeAt schedules (or reschedules) the task to run at time at. If the task
+// is already queued, the earlier of the two times wins. Scheduling in the
+// past is clamped to the present.
+func (s *Scheduler) WakeAt(t *Task, at units.Time) {
+	if at < s.now {
+		at = s.now
+	}
+	if t.scheduled {
+		if at < t.when {
+			t.when = at
+			heap.Fix(&s.queue, t.index)
+		}
+		return
+	}
+	t.when = at
+	t.scheduled = true
+	heap.Push(&s.queue, t)
+}
+
+// RunUntil dispatches steps in timestamp order until the queue is empty or
+// the next step would occur after deadline. The clock is left at the last
+// dispatched step (or at deadline if nothing ran at/after it).
+func (s *Scheduler) RunUntil(deadline units.Time) {
+	for s.queue.Len() > 0 {
+		next := s.queue[0]
+		if next.when > deadline {
+			break
+		}
+		heap.Pop(&s.queue)
+		next.scheduled = false
+		if next.when > s.now {
+			s.now = next.when
+		}
+		s.steps++
+		when, ok := next.actor.Step(s.now)
+		if ok {
+			if when < s.now {
+				panic(fmt.Sprintf("sim: actor %q scheduled into the past (%v < %v)", next.name, when, s.now))
+			}
+			s.WakeAt(next, when)
+		}
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Idle reports whether no task is queued.
+func (s *Scheduler) Idle() bool { return s.queue.Len() == 0 }
+
+// taskHeap is a min-heap on (when, seq).
+type taskHeap []*Task
+
+func (h taskHeap) Len() int { return len(h) }
+func (h taskHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h taskHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *taskHeap) Push(x any) {
+	t := x.(*Task)
+	t.index = len(*h)
+	*h = append(*h, t)
+}
+func (h *taskHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// StepFunc adapts a function to the Actor interface.
+type StepFunc func(now units.Time) (units.Time, bool)
+
+// Step implements Actor.
+func (f StepFunc) Step(now units.Time) (units.Time, bool) { return f(now) }

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var w Welford
+		var sum float64
+		for _, v := range raw {
+			w.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var m2 float64
+		for _, v := range raw {
+			d := float64(v) - mean
+			m2 += d * d
+		}
+		naiveVar := m2 / float64(len(raw))
+		return math.Abs(w.Mean()-mean) < 1e-6 && math.Abs(w.Var()-naiveVar) < 1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordMinMax(t *testing.T) {
+	var w Welford
+	for _, v := range []float64{5, -3, 12, 0} {
+		w.Add(v)
+	}
+	if w.Min() != -3 || w.Max() != 12 || w.N() != 4 {
+		t.Fatalf("min=%v max=%v n=%d", w.Min(), w.Max(), w.N())
+	}
+	var empty Welford
+	if empty.Mean() != 0 || empty.Var() != 0 || empty.Std() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+}
+
+func TestHistogramExactMean(t *testing.T) {
+	var h Histogram
+	vals := []units.Time{10 * units.Microsecond, 20 * units.Microsecond, 30 * units.Microsecond}
+	for _, v := range vals {
+		h.Add(v)
+	}
+	if h.Mean() != 20*units.Microsecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != 10*units.Microsecond || h.Max() != 30*units.Microsecond {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	// Against a sorted sample, quantiles should be within the histogram's
+	// ~3.2% relative resolution.
+	rng := sim.NewRNG(11)
+	var h Histogram
+	var raw []float64
+	for i := 0; i < 50000; i++ {
+		// Log-uniform latencies between 1us and 10ms.
+		v := math.Exp(math.Log(1e6) + rng.Float64()*math.Log(1e4))
+		raw = append(raw, v)
+		h.Add(units.Time(v))
+	}
+	sort.Float64s(raw)
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		want := raw[int(q*float64(len(raw)))]
+		got := float64(h.Quantile(q))
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("q=%.2f: got %.0f want %.0f (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramQuantileMonotonic(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		var h Histogram
+		for i := 0; i < 500; i++ {
+			h.Add(units.Time(rng.Uint64() % uint64(10*units.Millisecond)))
+		}
+		prev := units.Time(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return h.Quantile(0) == h.Min() && h.Quantile(1) == h.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	// Property: every value lands in a bucket whose bounds contain it.
+	f := func(raw uint32) bool {
+		v := units.Time(raw) * units.Nanosecond
+		i := bucketIndex(v)
+		lo, hi := bucketLow(i), bucketLow(i+1)
+		return lo <= v && (v < hi || i == len(Histogram{}.buckets)-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Add(-5 * units.Nanosecond)
+	if h.Min() != 0 || h.N() != 1 {
+		t.Fatalf("min=%v n=%d", h.Min(), h.N())
+	}
+}
+
+func TestHistogramStd(t *testing.T) {
+	var h Histogram
+	// Constant distribution: std must be (near) zero relative to mean.
+	for i := 0; i < 1000; i++ {
+		h.Add(100 * units.Microsecond)
+	}
+	if std := h.Std(); float64(std) > 0.04*float64(h.Mean()) {
+		t.Fatalf("std = %v for constant data (mean %v)", std, h.Mean())
+	}
+	// Bimodal: std should be close to the half-gap.
+	var h2 Histogram
+	for i := 0; i < 1000; i++ {
+		h2.Add(10 * units.Microsecond)
+		h2.Add(1000 * units.Microsecond)
+	}
+	want := 495.0 // us
+	if got := h2.Std().Microseconds(); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("bimodal std = %.1fus, want ~%.0fus", got, want)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Add(units.Time(i) * units.Microsecond)
+	}
+	s := h.Summarize()
+	if s.N != 100 {
+		t.Fatalf("n=%d", s.N)
+	}
+	if math.Abs(s.MeanUs-50.5) > 0.01 {
+		t.Fatalf("mean=%f", s.MeanUs)
+	}
+	if s.P50Us < 45 || s.P50Us > 55 {
+		t.Fatalf("p50=%f", s.P50Us)
+	}
+	if s.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestCounterSub(t *testing.T) {
+	var c Counter
+	c.Add(10, 640)
+	snap := c
+	c.Add(5, 320)
+	d := c.Sub(snap)
+	if d.Packets != 5 || d.Bytes != 320 {
+		t.Fatalf("delta = %+v", d)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Std() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+}

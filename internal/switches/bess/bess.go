@@ -1,0 +1,421 @@
+// Package bess models the Berkeley Extensible Software Switch (BESS,
+// Haswell build): a modular switch whose daemon schedules "tasks" (source
+// modules) under a weighted scheduler and pushes batches through a
+// module/gate pipeline.
+//
+// The paper's configurations hook ports with PMDPort and link
+// QueueInc → QueueOut modules; this package exposes the same builder
+// vocabulary. BESS's p2p dominance (16 Gbps bidirectional at 64B) comes
+// from how little work its modules do — essentially statistics collection.
+// Its QEMU incompatibility (paper footnote 5) is enforced as a 3-VNF cap on
+// loopback chains.
+package bess
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// Burst is BESS's batch size.
+const Burst = 32
+
+// Cost constants, calibrated to land p2p 64B at ≈ 42 ns/packet.
+const (
+	taskFixed  = 30 // scheduler dispatch per task run
+	qincPerPkt = 31 // QueueInc bookkeeping + stats
+	qoutPerPkt = 32 // QueueOut
+	sinkPerPkt = 4
+	jitterFrac = 0.015
+)
+
+// Module is a BESS pipeline module.
+type Module interface {
+	Name() string
+	// ProcessBatch consumes the batch; pass-through modules forward via
+	// their output gate.
+	ProcessBatch(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf)
+	setOGate(dst Module) error
+}
+
+type baseModule struct {
+	name  string
+	ogate Module
+}
+
+func (b *baseModule) Name() string { return b.name }
+func (b *baseModule) setOGate(dst Module) error {
+	if b.ogate != nil {
+		return fmt.Errorf("bess: %s ogate already connected", b.name)
+	}
+	b.ogate = dst
+	return nil
+}
+
+// Switch is a BESS daemon instance.
+type Switch struct {
+	env   switchdef.Env
+	ports []switchdef.DevPort
+
+	modules map[string]Module
+	tasks   []*QueueInc // schedulable sources, in WRR expansion order
+	wheel   []*QueueInc // weighted round-robin expansion
+	wheelAt int
+
+	// Forwarded and Dropped count data-plane outcomes.
+	Forwarded, Dropped int64
+}
+
+var info = switchdef.Info{
+	Name:              "bess",
+	Display:           "BESS",
+	Version:           "haswell",
+	SelfContained:     false,
+	Paradigm:          "structured",
+	ProcessingModel:   "RTC/pipeline",
+	VirtualIface:      "vhost-user",
+	Reprogrammability: "medium",
+	Languages:         "C, Python",
+	MainPurpose:       "Programmable NIC",
+	BestAt:            "Forwarding between physical NICs",
+	Remarks:           "Incompatible with newer versions of QEMU",
+	IOMode:            switchdef.PollMode,
+	MaxLoopbackVNFs:   3,
+	VhostCostScale:    0.9,
+}
+
+// New returns an empty BESS daemon.
+func New(env switchdef.Env) *Switch {
+	return &Switch{env: env, modules: map[string]Module{}}
+}
+
+// Info implements switchdef.Switch.
+func (sw *Switch) Info() switchdef.Info { return info }
+
+// AddPort implements switchdef.Switch (the PMDPort/vdev hook).
+func (sw *Switch) AddPort(p switchdef.DevPort) int {
+	sw.ports = append(sw.ports, p)
+	return len(sw.ports) - 1
+}
+
+func (sw *Switch) register(m Module) (Module, error) {
+	if _, dup := sw.modules[m.Name()]; dup {
+		return nil, fmt.Errorf("bess: duplicate module %q", m.Name())
+	}
+	sw.modules[m.Name()] = m
+	return m, nil
+}
+
+// NewQueueInc creates a schedulable input task over a port, with a WRR
+// weight (≥1) in the traffic-class scheduler.
+func (sw *Switch) NewQueueInc(name string, port, weight int) (*QueueInc, error) {
+	if port < 0 || port >= len(sw.ports) {
+		return nil, fmt.Errorf("bess: no port %d", port)
+	}
+	if weight < 1 {
+		weight = 1
+	}
+	q := &QueueInc{baseModule: baseModule{name: name}, dev: sw.ports[port], weight: weight}
+	if _, err := sw.register(q); err != nil {
+		return nil, err
+	}
+	sw.tasks = append(sw.tasks, q)
+	sw.rebuildWheel()
+	return q, nil
+}
+
+// NewQueueOut creates an output module over a port.
+func (sw *Switch) NewQueueOut(name string, port int) (*QueueOut, error) {
+	if port < 0 || port >= len(sw.ports) {
+		return nil, fmt.Errorf("bess: no port %d", port)
+	}
+	q := &QueueOut{baseModule: baseModule{name: name}, dev: sw.ports[port]}
+	if _, err := sw.register(q); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// NewSink creates a module that frees everything it receives.
+func (sw *Switch) NewSink(name string) (*Sink, error) {
+	s := &Sink{baseModule: baseModule{name: name}}
+	if _, err := sw.register(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Connect links src's output gate to dst (the builder's "->").
+func (sw *Switch) Connect(src, dst Module) error { return src.setOGate(dst) }
+
+// Module returns a module by name.
+func (sw *Switch) Module(name string) Module { return sw.modules[name] }
+
+func (sw *Switch) rebuildWheel() {
+	sw.wheel = sw.wheel[:0]
+	for _, t := range sw.tasks {
+		for i := 0; i < t.weight; i++ {
+			sw.wheel = append(sw.wheel, t)
+		}
+	}
+	sw.wheelAt = 0
+}
+
+// CrossConnect implements switchdef.Switch with the paper's configuration:
+// QueueInc(port=a) -> QueueOut(port=b) and the reverse.
+func (sw *Switch) CrossConnect(a, b int) error {
+	n := len(sw.modules)
+	ia, err := sw.NewQueueInc(fmt.Sprintf("in%d_%d", a, n), a, 1)
+	if err != nil {
+		return err
+	}
+	oa, err := sw.NewQueueOut(fmt.Sprintf("out%d_%d", b, n), b)
+	if err != nil {
+		return err
+	}
+	if err := sw.Connect(ia, oa); err != nil {
+		return err
+	}
+	ib, err := sw.NewQueueInc(fmt.Sprintf("in%d_%d", b, n+2), b, 1)
+	if err != nil {
+		return err
+	}
+	ob, err := sw.NewQueueOut(fmt.Sprintf("out%d_%d", a, n+2), a)
+	if err != nil {
+		return err
+	}
+	return sw.Connect(ib, ob)
+}
+
+// Poll implements switchdef.Switch: one full turn of the scheduler wheel.
+func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
+	did := false
+	for range sw.wheel {
+		t := sw.wheel[sw.wheelAt]
+		sw.wheelAt = (sw.wheelAt + 1) % len(sw.wheel)
+		if t.run(sw, now, m) {
+			did = true
+		}
+	}
+	return did
+}
+
+// PollShard implements switchdef.MultiCore: each worker runs its share of
+// the schedulable tasks (weights respected within the shard).
+func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
+	if rxPorts == nil {
+		return sw.Poll(now, m)
+	}
+	did := false
+	for _, ti := range rxPorts {
+		if ti >= len(sw.tasks) {
+			continue
+		}
+		t := sw.tasks[ti]
+		for w := 0; w < t.weight; w++ {
+			if t.run(sw, now, m) {
+				did = true
+			}
+		}
+	}
+	return did
+}
+
+// QueueInc pulls batches from a port; it is the schedulable task unit.
+type QueueInc struct {
+	baseModule
+	dev    switchdef.DevPort
+	weight int
+
+	Packets int64
+}
+
+// ProcessBatch implements Module (sources do not receive).
+func (q *QueueInc) ProcessBatch(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	panic("bess: QueueInc cannot receive")
+}
+
+func (q *QueueInc) run(sw *Switch, now units.Time, m *cost.Meter) bool {
+	var burst [Burst]*pkt.Buf
+	n := q.dev.RxBurst(now, m, burst[:])
+	if n == 0 {
+		return false
+	}
+	m.ChargeNoisy(taskFixed+units.Cycles(n)*qincPerPkt, jitterFrac)
+	q.Packets += int64(n)
+	batch := make([]*pkt.Buf, n)
+	copy(batch, burst[:n])
+	if q.ogate == nil {
+		for _, b := range batch {
+			b.Free()
+		}
+		sw.Dropped += int64(n)
+		return true
+	}
+	q.ogate.ProcessBatch(sw, now, m, batch)
+	return true
+}
+
+// QueueOut transmits batches on a port.
+type QueueOut struct {
+	baseModule
+	dev switchdef.DevPort
+
+	Packets int64
+}
+
+// ProcessBatch implements Module.
+func (q *QueueOut) ProcessBatch(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.ChargeNoisy(units.Cycles(len(batch))*qoutPerPkt, jitterFrac)
+	sent := q.dev.TxBurst(now, m, batch)
+	q.Packets += int64(sent)
+	sw.Forwarded += int64(sent)
+	sw.Dropped += int64(len(batch) - sent)
+}
+
+// Sink frees batches (bessctl's Sink()).
+type Sink struct {
+	baseModule
+	Packets int64
+}
+
+// ProcessBatch implements Module.
+func (s *Sink) ProcessBatch(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(units.Cycles(len(batch)) * sinkPerPkt)
+	for _, b := range batch {
+		b.Free()
+	}
+	s.Packets += int64(len(batch))
+	sw.Dropped += int64(len(batch))
+}
+
+func init() {
+	switchdef.Register(info, func(env switchdef.Env) switchdef.Switch { return New(env) })
+}
+
+// Measure samples per-packet one-way latency from probe timestamps — the
+// bessctl Measure() module used to build latency dashboards.
+type Measure struct {
+	baseModule
+	Samples int64
+	SumUs   float64
+}
+
+// NewMeasure creates a pass-through latency measurement module.
+func (sw *Switch) NewMeasure(name string) (*Measure, error) {
+	mod := &Measure{baseModule: baseModule{name: name}}
+	if _, err := sw.register(mod); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// ProcessBatch implements Module.
+func (mod *Measure) ProcessBatch(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(units.Cycles(len(batch)) * 6)
+	for _, b := range batch {
+		if b.Probe && b.TxStamp > 0 {
+			mod.Samples++
+			mod.SumUs += (now - b.TxStamp).Microseconds()
+		}
+	}
+	if mod.ogate != nil {
+		mod.ogate.ProcessBatch(sw, now, m, batch)
+		return
+	}
+	for _, b := range batch {
+		b.Free()
+	}
+	sw.Dropped += int64(len(batch))
+}
+
+// MeanUs returns the average measured one-way latency.
+func (mod *Measure) MeanUs() float64 {
+	if mod.Samples == 0 {
+		return 0
+	}
+	return mod.SumUs / float64(mod.Samples)
+}
+
+// RandomSplit forwards each packet to one of its gates pseudo-randomly with
+// the configured weights (bessctl RandomSplit()).
+type RandomSplit struct {
+	baseModule
+	gates   []Module
+	weights []float64
+	total   float64
+	rng     *sim.RNG
+}
+
+// NewRandomSplit creates a splitter with one weight per output gate.
+func (sw *Switch) NewRandomSplit(name string, weights []float64) (*RandomSplit, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("bess: RandomSplit needs weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("bess: RandomSplit weights must be positive")
+		}
+		total += w
+	}
+	mod := &RandomSplit{
+		baseModule: baseModule{name: name},
+		gates:      make([]Module, len(weights)),
+		weights:    weights,
+		total:      total,
+		rng:        sw.env.RNG.Derive("bess-split-" + name),
+	}
+	if _, err := sw.register(mod); err != nil {
+		return nil, err
+	}
+	return mod, nil
+}
+
+// ConnectGate wires output gate i to dst.
+func (mod *RandomSplit) ConnectGate(i int, dst Module) error {
+	if i < 0 || i >= len(mod.gates) {
+		return fmt.Errorf("bess: RandomSplit has no gate %d", i)
+	}
+	if mod.gates[i] != nil {
+		return fmt.Errorf("bess: gate %d already connected", i)
+	}
+	mod.gates[i] = dst
+	return nil
+}
+
+// ProcessBatch implements Module.
+func (mod *RandomSplit) ProcessBatch(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(units.Cycles(len(batch)) * 10)
+	groups := make([][]*pkt.Buf, len(mod.gates))
+	for _, b := range batch {
+		r := mod.rng.Float64() * mod.total
+		gi := 0
+		for i, w := range mod.weights {
+			if r < w {
+				gi = i
+				break
+			}
+			r -= w
+		}
+		groups[gi] = append(groups[gi], b)
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if mod.gates[i] == nil {
+			for _, b := range g {
+				b.Free()
+			}
+			sw.Dropped += int64(len(g))
+			continue
+		}
+		mod.gates[i].ProcessBatch(sw, now, m, g)
+	}
+}

@@ -1,0 +1,228 @@
+package bess
+
+import (
+	"testing"
+
+	"repro/internal/units"
+
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/switches/switchtest"
+)
+
+func newSUT(t *testing.T, ports int) (*Switch, []*switchtest.FakePort, switchdef.Env) {
+	t.Helper()
+	env := switchtest.Env()
+	sw := New(env)
+	fps := make([]*switchtest.FakePort, ports)
+	for i := range fps {
+		fps[i] = switchtest.NewFakePort("p")
+		sw.AddPort(fps[i])
+	}
+	return sw, fps, env
+}
+
+func frame(env switchdef.Env) *pkt.Buf {
+	return switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64)
+}
+
+func TestBuilderPipeline(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	in, err := sw.NewQueueInc("in0", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sw.NewQueueOut("out0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Connect(in, out); err != nil {
+		t.Fatal(err)
+	}
+	fps[0].In = append(fps[0].In, frame(env))
+	m := switchtest.Meter(env)
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 || in.Packets != 1 || out.Packets != 1 {
+		t.Fatalf("out=%d in.Packets=%d out.Packets=%d", len(fps[1].Out), in.Packets, out.Packets)
+	}
+}
+
+func TestCrossConnectBidirectional(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	if err := sw.CrossConnect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	fps[0].In = append(fps[0].In, frame(env))
+	fps[1].In = append(fps[1].In, frame(env))
+	m := switchtest.Meter(env)
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[0].Out) != 1 || len(fps[1].Out) != 1 {
+		t.Fatalf("outputs = %d, %d", len(fps[0].Out), len(fps[1].Out))
+	}
+}
+
+func TestSinkFrees(t *testing.T) {
+	sw, fps, env := newSUT(t, 1)
+	in, _ := sw.NewQueueInc("in0", 0, 1)
+	sink, _ := sw.NewSink("sink")
+	_ = sw.Connect(in, sink)
+	fps[0].In = append(fps[0].In, frame(env), frame(env))
+	m := switchtest.Meter(env)
+	switchtest.PollUntilIdle(sw, m, 0)
+	if sink.Packets != 2 || env.Pool.Live() != 0 {
+		t.Fatalf("sink=%d live=%d", sink.Packets, env.Pool.Live())
+	}
+}
+
+func TestWRRWheelWeights(t *testing.T) {
+	sw, fps, env := newSUT(t, 3)
+	// in0 gets weight 3, in1 weight 1: per wheel turn, in0 runs 3×.
+	inA, _ := sw.NewQueueInc("inA", 0, 3)
+	inB, _ := sw.NewQueueInc("inB", 1, 1)
+	outA, _ := sw.NewQueueOut("outA", 2)
+	sink, _ := sw.NewSink("s")
+	_ = sw.Connect(inA, outA)
+	_ = sw.Connect(inB, sink)
+	if len(sw.wheel) != 4 {
+		t.Fatalf("wheel = %d entries", len(sw.wheel))
+	}
+	// Fill both inputs with more than a burst; one Poll = one wheel turn:
+	// inA should move 3 bursts (96), inB one burst (32).
+	for i := 0; i < 200; i++ {
+		fps[0].In = append(fps[0].In, frame(env))
+		fps[1].In = append(fps[1].In, frame(env))
+	}
+	m := switchtest.Meter(env)
+	sw.Poll(0, m)
+	if inA.Packets != 96 || inB.Packets != 32 {
+		t.Fatalf("after one turn: inA=%d inB=%d", inA.Packets, inB.Packets)
+	}
+}
+
+func TestModuleErrors(t *testing.T) {
+	sw, _, _ := newSUT(t, 1)
+	if _, err := sw.NewQueueInc("x", 9, 1); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	if _, err := sw.NewQueueOut("x", -1); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	a, _ := sw.NewQueueInc("a", 0, 1)
+	if _, err := sw.NewQueueInc("a", 0, 1); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	s1, _ := sw.NewSink("s1")
+	s2, _ := sw.NewSink("s2")
+	if err := sw.Connect(a, s1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Connect(a, s2); err == nil {
+		t.Fatal("double connect accepted")
+	}
+}
+
+func TestSourceWithoutGateDrops(t *testing.T) {
+	sw, fps, env := newSUT(t, 1)
+	_, _ = sw.NewQueueInc("in0", 0, 1)
+	fps[0].In = append(fps[0].In, frame(env))
+	m := switchtest.Meter(env)
+	switchtest.PollUntilIdle(sw, m, 0)
+	if sw.Dropped != 1 || env.Pool.Live() != 0 {
+		t.Fatalf("dropped=%d live=%d", sw.Dropped, env.Pool.Live())
+	}
+}
+
+func TestQEMUChainCap(t *testing.T) {
+	sw, _, _ := newSUT(t, 0)
+	if sw.Info().MaxLoopbackVNFs != 3 {
+		t.Fatalf("BESS must cap loopback chains at 3 VMs (paper footnote 5), got %d",
+			sw.Info().MaxLoopbackVNFs)
+	}
+}
+
+func TestModuleLookup(t *testing.T) {
+	sw, _, _ := newSUT(t, 1)
+	in, _ := sw.NewQueueInc("myin", 0, 1)
+	if sw.Module("myin") != Module(in) {
+		t.Fatal("module lookup failed")
+	}
+	if sw.Module("ghost") != nil {
+		t.Fatal("ghost module found")
+	}
+}
+
+func TestMeasureModule(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	in, _ := sw.NewQueueInc("in0", 0, 1)
+	meas, err := sw.NewMeasure("m0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := sw.NewQueueOut("out0", 1)
+	_ = sw.Connect(in, meas)
+	_ = sw.Connect(meas, out)
+
+	probe := frame(env)
+	pkt.MarkProbe(probe, 1, 0)
+	probe.TxStamp = 10 * units.Microsecond
+	fps[0].In = append(fps[0].In, probe, frame(env))
+	m := switchtest.Meter(env)
+	sw.Poll(40*units.Microsecond, m)
+	if meas.Samples != 1 {
+		t.Fatalf("samples = %d", meas.Samples)
+	}
+	if got := meas.MeanUs(); got != 30 {
+		t.Fatalf("mean = %f us", got)
+	}
+	if len(fps[1].Out) != 2 {
+		t.Fatalf("out = %d", len(fps[1].Out))
+	}
+}
+
+func TestRandomSplitWeights(t *testing.T) {
+	sw, fps, env := newSUT(t, 3)
+	in, _ := sw.NewQueueInc("in0", 0, 1)
+	split, err := sw.NewRandomSplit("rs", []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA, _ := sw.NewQueueOut("outA", 1)
+	outB, _ := sw.NewQueueOut("outB", 2)
+	_ = sw.Connect(in, split)
+	if err := split.ConnectGate(0, outA); err != nil {
+		t.Fatal(err)
+	}
+	if err := split.ConnectGate(1, outB); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		fps[0].In = append(fps[0].In, frame(env))
+	}
+	m := switchtest.Meter(env)
+	for i := 0; i < 200; i++ {
+		sw.Poll(0, m)
+		m.Drain()
+	}
+	total := len(fps[1].Out) + len(fps[2].Out)
+	if total != 4000 {
+		t.Fatalf("total = %d", total)
+	}
+	frac := float64(len(fps[1].Out)) / float64(total)
+	if frac < 0.70 || frac > 0.80 {
+		t.Fatalf("gate 0 fraction = %.3f, want ~0.75", frac)
+	}
+}
+
+func TestRandomSplitErrors(t *testing.T) {
+	sw, _, _ := newSUT(t, 1)
+	if _, err := sw.NewRandomSplit("x", nil); err == nil {
+		t.Fatal("no weights accepted")
+	}
+	if _, err := sw.NewRandomSplit("y", []float64{1, -1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	rs, _ := sw.NewRandomSplit("z", []float64{1})
+	if err := rs.ConnectGate(5, nil); err == nil {
+		t.Fatal("bad gate accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package fastclick
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/units"
+)
+
+// Additional Click elements beyond the benchmark configurations: Tee,
+// Strip/Unstrip, and SetVLANAnno-style tagging — enough vocabulary to
+// compose the "custom functions in a graph-like fashion" the paper credits
+// FastClick with (§3.8).
+
+const (
+	teePerPkt   = 8
+	stripPerPkt = 6
+	vlanPerPkt  = 18
+)
+
+// teeElem duplicates each batch to every connected output.
+type teeElem struct {
+	base
+	outputs int
+}
+
+func (e *teeElem) Class() string { return "Tee" }
+func (e *teeElem) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*teePerPkt)
+	n := e.outputs
+	if n > len(e.outs) {
+		n = len(e.outs)
+	}
+	for port := 0; port < n; port++ {
+		next := e.out(port)
+		if next == nil {
+			continue
+		}
+		if port == n-1 {
+			next.Push(sw, now, m, batch)
+			return
+		}
+		dup := make([]*pkt.Buf, len(batch))
+		for i, b := range batch {
+			dup[i] = sw.env.Pool.Clone(b)
+			m.ChargeCopy(b.Len())
+		}
+		next.Push(sw, now, m, dup)
+	}
+	// No connected last output: free the originals.
+	for _, b := range batch {
+		b.Free()
+	}
+	sw.Dropped += int64(len(batch))
+}
+
+// stripElem removes n leading bytes (Strip(14) drops the Ethernet header).
+type stripElem struct {
+	base
+	n int
+}
+
+func (e *stripElem) Class() string { return "Strip" }
+func (e *stripElem) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*stripPerPkt)
+	keep := batch[:0]
+	for _, b := range batch {
+		if b.Len() < e.n {
+			b.Free()
+			sw.Dropped++
+			continue
+		}
+		data := b.Bytes()
+		copy(data, data[e.n:])
+		b.SetLen(b.Len() - e.n)
+		keep = append(keep, b)
+	}
+	if next := e.out(0); next != nil && len(keep) > 0 {
+		next.Push(sw, now, m, keep)
+		return
+	}
+	for _, b := range keep {
+		b.Free()
+	}
+	sw.Dropped += int64(len(keep))
+}
+
+// unstripElem re-exposes n bytes in front of the packet (zero-filled; the
+// real element restores saved headroom — the simulation keeps no headroom,
+// so this is the conservative variant).
+type unstripElem struct {
+	base
+	n int
+}
+
+func (e *unstripElem) Class() string { return "Unstrip" }
+func (e *unstripElem) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*stripPerPkt)
+	for _, b := range batch {
+		old := b.Len()
+		b.SetLen(old + e.n)
+		data := b.Bytes()
+		copy(data[e.n:], data[:old])
+		for i := 0; i < e.n; i++ {
+			data[i] = 0
+		}
+	}
+	if next := e.out(0); next != nil {
+		next.Push(sw, now, m, batch)
+		return
+	}
+	for _, b := range batch {
+		b.Free()
+	}
+	sw.Dropped += int64(len(batch))
+}
+
+// vlanEncapElem pushes an 802.1Q tag (VLANEncap in Click).
+type vlanEncapElem struct {
+	base
+	vid uint16
+}
+
+func (e *vlanEncapElem) Class() string { return "VLANEncap" }
+func (e *vlanEncapElem) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*vlanPerPkt)
+	for _, b := range batch {
+		pkt.PushVLAN(b, e.vid)
+	}
+	if next := e.out(0); next != nil {
+		next.Push(sw, now, m, batch)
+		return
+	}
+	for _, b := range batch {
+		b.Free()
+	}
+	sw.Dropped += int64(len(batch))
+}
+
+// vlanDecapElem strips the outer tag (VLANDecap).
+type vlanDecapElem struct{ base }
+
+func (e *vlanDecapElem) Class() string { return "VLANDecap" }
+func (e *vlanDecapElem) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*vlanPerPkt)
+	for _, b := range batch {
+		pkt.PopVLAN(b)
+	}
+	if next := e.out(0); next != nil {
+		next.Push(sw, now, m, batch)
+		return
+	}
+	for _, b := range batch {
+		b.Free()
+	}
+	sw.Dropped += int64(len(batch))
+}
+
+// buildExtra constructs the elements added in this file; called from build.
+func (sw *Switch) buildExtra(class string, args []string) (Element, error) {
+	switch class {
+	case "Tee":
+		n := 2
+		if len(args) >= 1 {
+			v, err := strconv.Atoi(args[0])
+			if err != nil || v < 1 {
+				return nil, fmt.Errorf("fastclick: bad Tee arity %q", args[0])
+			}
+			n = v
+		}
+		return &teeElem{outputs: n}, nil
+	case "Strip":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("fastclick: Strip needs a byte count")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("fastclick: bad Strip count %q", args[0])
+		}
+		return &stripElem{n: n}, nil
+	case "Unstrip":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("fastclick: Unstrip needs a byte count")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("fastclick: bad Unstrip count %q", args[0])
+		}
+		return &unstripElem{n: n}, nil
+	case "VLANEncap":
+		if len(args) != 1 {
+			return nil, fmt.Errorf("fastclick: VLANEncap needs a VLAN id")
+		}
+		vid, err := strconv.ParseUint(args[0], 10, 12)
+		if err != nil {
+			return nil, fmt.Errorf("fastclick: bad VLAN id %q", args[0])
+		}
+		return &vlanEncapElem{vid: uint16(vid)}, nil
+	case "VLANDecap":
+		return &vlanDecapElem{}, nil
+	}
+	return nil, errUnknownClass
+}
+
+// errUnknownClass signals build to report its own error.
+var errUnknownClass = fmt.Errorf("fastclick: unknown element class")

@@ -1,0 +1,560 @@
+// Package fastclick models FastClick (commit 8c9352e): the Click modular
+// router rebuilt around DPDK, full-push batch processing, and
+// run-to-completion scheduling.
+//
+// The data plane is a genuine element graph built from a Click-language
+// configuration (see lang.go). The paper's scenarios use
+// FromDPDKDevice(n) -> ToDPDKDevice(m) pairs; richer elements (Counter,
+// EtherMirror, Classifier, Queue, Discard) are provided for custom
+// configurations. Per Table 2 the NIC descriptor rings are raised to 4096.
+package fastclick
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// Burst is FastClick's RX burst / batch size.
+const Burst = 32
+
+// Cost constants, calibrated to land p2p 64B at ≈ 55 ns/packet (Fig. 4a:
+// FastClick exceeds 10 Gbps bidirectional, below BESS).
+const (
+	elemBatchFixed = 18 // per element per batch
+	fromPerPkt     = 48 // FromDPDKDevice: mbuf to Packet conversion, anno init
+	toPerPkt       = 52 // ToDPDKDevice: batch to mbuf, tx queueing
+	mirrorPerPkt   = 24
+	counterPerPkt  = 6
+	classifyPerPkt = 20
+	queuePerPkt    = 10
+	vhostExtra     = 25 // extra per-packet toll on vhost-user devices
+	jitterFrac     = 0.02
+)
+
+// Element is a Click element: it receives a batch on its single input and
+// pushes to its outputs.
+type Element interface {
+	Class() string
+	Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf)
+	// connect wires output port n to dst.
+	connect(n int, dst Element) error
+}
+
+// base provides output wiring shared by elements.
+type base struct {
+	outs []Element
+}
+
+func (b *base) connect(n int, dst Element) error {
+	for len(b.outs) <= n {
+		b.outs = append(b.outs, nil)
+	}
+	if b.outs[n] != nil {
+		return fmt.Errorf("fastclick: output %d already connected", n)
+	}
+	b.outs[n] = dst
+	return nil
+}
+
+func (b *base) out(n int) Element {
+	if n < len(b.outs) {
+		return b.outs[n]
+	}
+	return nil
+}
+
+// Switch is a FastClick instance.
+type Switch struct {
+	env   switchdef.Env
+	ports []switchdef.DevPort
+
+	elems   map[string]Element
+	sources []*fromDevice
+	queues  []*queueElem
+	toDevs  []*toDevice
+	anon    int
+
+	// Forwarded and Dropped count data-plane outcomes.
+	Forwarded, Dropped int64
+}
+
+var info = switchdef.Info{
+	Name:              "fastclick",
+	Display:           "FastClick",
+	Version:           "8c9352e",
+	SelfContained:     false,
+	Paradigm:          "structured",
+	ProcessingModel:   "RTC",
+	VirtualIface:      "vhost-user",
+	Reprogrammability: "low",
+	Languages:         "C++",
+	MainPurpose:       "Modular router",
+	BestAt:            "VNF chaining",
+	Remarks:           "Supports live migration, high latency at low workload",
+	Tuning:            "Increase descriptor ring size to 4096",
+	IOMode:            switchdef.PollMode,
+	RxRingOverride:    4096,
+}
+
+// New returns an unconfigured FastClick instance.
+func New(env switchdef.Env) *Switch {
+	return &Switch{env: env, elems: map[string]Element{}}
+}
+
+// Info implements switchdef.Switch.
+func (sw *Switch) Info() switchdef.Info { return info }
+
+// AddPort implements switchdef.Switch.
+func (sw *Switch) AddPort(p switchdef.DevPort) int {
+	sw.ports = append(sw.ports, p)
+	return len(sw.ports) - 1
+}
+
+// CrossConnect implements switchdef.Switch by extending the configuration
+// with a FromDPDKDevice/ToDPDKDevice pair per direction, as in the paper's
+// appendix.
+func (sw *Switch) CrossConnect(a, b int) error {
+	cfg := fmt.Sprintf("FromDPDKDevice(%d) -> ToDPDKDevice(%d);\nFromDPDKDevice(%d) -> ToDPDKDevice(%d);", a, b, b, a)
+	return sw.Configure(cfg)
+}
+
+// Configure parses and instantiates a Click configuration, adding to any
+// existing graph.
+func (sw *Switch) Configure(src string) error {
+	stmts, err := parseConfig(src)
+	if err != nil {
+		return err
+	}
+	// First pass: declarations.
+	for _, s := range stmts {
+		if s.decl != nil {
+			if _, dup := sw.elems[s.decl.name]; dup {
+				return fmt.Errorf("fastclick: duplicate element %q", s.decl.name)
+			}
+			e, err := sw.build(s.decl.class, s.decl.args)
+			if err != nil {
+				return err
+			}
+			sw.elems[s.decl.name] = e
+		}
+	}
+	// Second pass: chains (which may declare inline).
+	for _, s := range stmts {
+		var prev Element
+		var prevPort int
+		for _, pe := range s.chain {
+			e, err := sw.resolve(pe)
+			if err != nil {
+				return err
+			}
+			if prev != nil {
+				if err := prev.connect(prevPort, e); err != nil {
+					return err
+				}
+			}
+			prev, prevPort = e, pe.outPort
+		}
+	}
+	return nil
+}
+
+func (sw *Switch) resolve(pe *parsedElem) (Element, error) {
+	if pe.class == "" {
+		e, ok := sw.elems[pe.name]
+		if !ok {
+			return nil, fmt.Errorf("fastclick: undeclared element %q", pe.name)
+		}
+		return e, nil
+	}
+	e, err := sw.build(pe.class, pe.args)
+	if err != nil {
+		return nil, err
+	}
+	name := pe.name
+	if name == "" {
+		name = fmt.Sprintf("%s@%d", pe.class, sw.anon)
+		sw.anon++
+	} else if _, dup := sw.elems[name]; dup {
+		return nil, fmt.Errorf("fastclick: duplicate element %q", name)
+	}
+	sw.elems[name] = e
+	return e, nil
+}
+
+func (sw *Switch) port(arg string) (switchdef.DevPort, int, error) {
+	n, err := strconv.Atoi(arg)
+	if err != nil || n < 0 || n >= len(sw.ports) {
+		return nil, 0, fmt.Errorf("fastclick: bad device %q", arg)
+	}
+	return sw.ports[n], n, nil
+}
+
+func (sw *Switch) build(class string, args []string) (Element, error) {
+	switch class {
+	case "FromDPDKDevice":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("fastclick: FromDPDKDevice needs a device")
+		}
+		p, _, err := sw.port(args[0])
+		if err != nil {
+			return nil, err
+		}
+		e := &fromDevice{dev: p}
+		sw.sources = append(sw.sources, e)
+		return e, nil
+	case "ToDPDKDevice":
+		if len(args) < 1 {
+			return nil, fmt.Errorf("fastclick: ToDPDKDevice needs a device")
+		}
+		p, _, err := sw.port(args[0])
+		if err != nil {
+			return nil, err
+		}
+		td := &toDevice{sw: sw, dev: p}
+		sw.toDevs = append(sw.toDevs, td)
+		return td, nil
+	case "EtherMirror":
+		return &etherMirror{}, nil
+	case "Counter":
+		return &counterElem{}, nil
+	case "Discard":
+		return &discardElem{sw: sw}, nil
+	case "Queue":
+		capacity := 1000
+		if len(args) >= 1 {
+			n, err := strconv.Atoi(args[0])
+			if err != nil || n <= 0 {
+				return nil, fmt.Errorf("fastclick: bad Queue capacity %q", args[0])
+			}
+			capacity = n
+		}
+		q := &queueElem{capacity: capacity}
+		sw.queues = append(sw.queues, q)
+		return q, nil
+	case "Classifier":
+		return newClassifier(args)
+	default:
+		e, err := sw.buildExtra(class, args)
+		if err == errUnknownClass {
+			return nil, fmt.Errorf("fastclick: unknown element class %q", class)
+		}
+		return e, err
+	}
+}
+
+// Element returns a configured element by name (for tests and examples).
+func (sw *Switch) Element(name string) Element { return sw.elems[name] }
+
+// Poll implements switchdef.Switch: pull one batch from every source, then
+// drain queues (full-push run-to-completion).
+func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
+	return sw.PollShard(now, m, nil)
+}
+
+// PollShard implements switchdef.MultiCore: one core's input sources
+// (indices into the FromDPDKDevice elements, in configuration order).
+func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
+	var burst [Burst]*pkt.Buf
+	did := false
+	for _, si := range switchdef.Shard(rxPorts, len(sw.sources)) {
+		if si >= len(sw.sources) {
+			continue
+		}
+		src := sw.sources[si]
+		n := src.dev.RxBurst(now, m, burst[:])
+		if n == 0 {
+			continue
+		}
+		did = true
+		per := units.Cycles(fromPerPkt)
+		if src.dev.Kind() == switchdef.VhostKind {
+			per += vhostExtra
+		}
+		m.ChargeNoisy(elemBatchFixed+units.Cycles(n)*per, jitterFrac)
+		batch := make([]*pkt.Buf, n)
+		copy(batch, burst[:n])
+		if next := src.out(0); next != nil {
+			next.Push(sw, now, m, batch)
+		} else {
+			for _, b := range batch {
+				b.Free()
+			}
+			sw.Dropped += int64(n)
+		}
+	}
+	for _, ti := range switchdef.Shard(rxPorts, len(sw.toDevs)) {
+		if ti >= len(sw.toDevs) {
+			continue
+		}
+		if sw.toDevs[ti].flushStale(sw, now, m) {
+			did = true
+		}
+	}
+	for _, qi := range switchdef.Shard(rxPorts, len(sw.queues)) {
+		if qi >= len(sw.queues) {
+			continue
+		}
+		q := sw.queues[qi]
+		if len(q.buf) == 0 {
+			continue
+		}
+		did = true
+		batch := q.buf
+		q.buf = nil
+		m.Charge(elemBatchFixed + units.Cycles(len(batch))*queuePerPkt)
+		if next := q.out(0); next != nil {
+			next.Push(sw, now, m, batch)
+		} else {
+			for _, b := range batch {
+				b.Free()
+			}
+			sw.Dropped += int64(len(batch))
+		}
+	}
+	return did
+}
+
+// fromDevice is FromDPDKDevice: the batch source.
+type fromDevice struct {
+	base
+	dev switchdef.DevPort
+}
+
+func (e *fromDevice) Class() string { return "FromDPDKDevice" }
+func (e *fromDevice) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	panic("fastclick: FromDPDKDevice cannot receive")
+}
+
+// toDevice is ToDPDKDevice: the transmit sink. Toward vhost-user devices
+// FastClick accumulates its own output batches with a drain timer (part of
+// its batching design; with the chain VNFs' l2fwd batching this is why
+// FastClick's low-load loopback latency roughly doubles everyone else's in
+// Table 3 while its p2p low-load latency stays small).
+type toDevice struct {
+	base
+	sw  *Switch
+	dev switchdef.DevPort
+
+	stage []*pkt.Buf
+	first units.Time
+}
+
+const (
+	vhostTxBatch = 32
+	vhostTxDrain = 28 * units.Microsecond
+)
+
+func (e *toDevice) Class() string { return "ToDPDKDevice" }
+func (e *toDevice) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	per := units.Cycles(toPerPkt)
+	if e.dev.Kind() == switchdef.VhostKind {
+		per += vhostExtra
+	}
+	m.ChargeNoisy(elemBatchFixed+units.Cycles(len(batch))*per, jitterFrac)
+	if e.dev.Kind() == switchdef.VhostKind {
+		if len(e.stage) == 0 {
+			e.first = now
+		}
+		e.stage = append(e.stage, batch...)
+		if len(e.stage) < vhostTxBatch && now-e.first < vhostTxDrain {
+			return
+		}
+		batch = e.stage
+		e.stage = nil
+	}
+	sent := e.dev.TxBurst(now, m, batch)
+	sw.Forwarded += int64(sent)
+	sw.Dropped += int64(len(batch) - sent)
+}
+
+// flushStale transmits a staged vhost batch whose drain timer expired.
+func (e *toDevice) flushStale(sw *Switch, now units.Time, m *cost.Meter) bool {
+	if len(e.stage) == 0 || now-e.first < vhostTxDrain {
+		return false
+	}
+	batch := e.stage
+	e.stage = nil
+	sent := e.dev.TxBurst(now, m, batch)
+	sw.Forwarded += int64(sent)
+	sw.Dropped += int64(len(batch) - sent)
+	return true
+}
+
+// etherMirror swaps Ethernet source and destination in place.
+type etherMirror struct{ base }
+
+func (e *etherMirror) Class() string { return "EtherMirror" }
+func (e *etherMirror) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*mirrorPerPkt)
+	for _, b := range batch {
+		src, dst := pkt.EthSrc(b.Bytes()), pkt.EthDst(b.Bytes())
+		pkt.SetEthSrc(b.Bytes(), dst)
+		pkt.SetEthDst(b.Bytes(), src)
+	}
+	if next := e.out(0); next != nil {
+		next.Push(sw, now, m, batch)
+		return
+	}
+	for _, b := range batch {
+		b.Free()
+	}
+	sw.Dropped += int64(len(batch))
+}
+
+// counterElem counts packets and bytes.
+type counterElem struct {
+	base
+	Packets, Bytes int64
+}
+
+func (e *counterElem) Class() string { return "Counter" }
+func (e *counterElem) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*counterPerPkt)
+	for _, b := range batch {
+		e.Packets++
+		e.Bytes += int64(b.Len())
+	}
+	if next := e.out(0); next != nil {
+		next.Push(sw, now, m, batch)
+		return
+	}
+	for _, b := range batch {
+		b.Free()
+	}
+	sw.Dropped += int64(len(batch))
+}
+
+// discardElem frees everything.
+type discardElem struct {
+	base
+	sw *Switch
+}
+
+func (e *discardElem) Class() string { return "Discard" }
+func (e *discardElem) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	for _, b := range batch {
+		b.Free()
+	}
+	sw.Dropped += int64(len(batch))
+}
+
+// queueElem buffers packets; its output is drained by the poll loop.
+type queueElem struct {
+	base
+	capacity int
+	buf      []*pkt.Buf
+	Drops    int64
+}
+
+func (e *queueElem) Class() string { return "Queue" }
+func (e *queueElem) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*queuePerPkt)
+	for _, b := range batch {
+		if len(e.buf) >= e.capacity {
+			b.Free()
+			e.Drops++
+			sw.Dropped++
+			continue
+		}
+		e.buf = append(e.buf, b)
+	}
+}
+
+// classifier dispatches by byte patterns "offset/hexvalue", with "-" as the
+// catch-all, e.g. Classifier(12/0800, 12/0806, -).
+type classifier struct {
+	base
+	pats []classPattern
+}
+
+type classPattern struct {
+	offset   int
+	value    []byte
+	catchAll bool
+}
+
+func newClassifier(args []string) (*classifier, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("fastclick: Classifier needs patterns")
+	}
+	c := &classifier{}
+	for _, a := range args {
+		if a == "-" {
+			c.pats = append(c.pats, classPattern{catchAll: true})
+			continue
+		}
+		var off int
+		var hexv string
+		if _, err := fmt.Sscanf(a, "%d/%s", &off, &hexv); err != nil {
+			return nil, fmt.Errorf("fastclick: bad Classifier pattern %q", a)
+		}
+		if len(hexv)%2 != 0 {
+			return nil, fmt.Errorf("fastclick: odd hex in pattern %q", a)
+		}
+		val := make([]byte, len(hexv)/2)
+		for i := 0; i < len(val); i++ {
+			n, err := strconv.ParseUint(hexv[2*i:2*i+2], 16, 8)
+			if err != nil {
+				return nil, fmt.Errorf("fastclick: bad hex in pattern %q", a)
+			}
+			val[i] = byte(n)
+		}
+		c.pats = append(c.pats, classPattern{offset: off, value: val})
+	}
+	return c, nil
+}
+
+func (e *classifier) Class() string { return "Classifier" }
+func (e *classifier) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*classifyPerPkt)
+	// Group per output to preserve batching.
+	groups := make([][]*pkt.Buf, len(e.pats))
+	for _, b := range batch {
+		matched := false
+		for i, p := range e.pats {
+			if p.catchAll || matchAt(b.Bytes(), p.offset, p.value) {
+				groups[i] = append(groups[i], b)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			b.Free()
+			sw.Dropped++
+		}
+	}
+	for i, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		if next := e.out(i); next != nil {
+			next.Push(sw, now, m, g)
+			continue
+		}
+		for _, b := range g {
+			b.Free()
+		}
+		sw.Dropped += int64(len(g))
+	}
+}
+
+func matchAt(b []byte, off int, val []byte) bool {
+	if off+len(val) > len(b) {
+		return false
+	}
+	for i, v := range val {
+		if b[off+i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func init() {
+	switchdef.Register(info, func(env switchdef.Env) switchdef.Switch { return New(env) })
+}

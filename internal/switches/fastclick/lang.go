@@ -1,0 +1,205 @@
+package fastclick
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file implements a parser for the subset of the Click configuration
+// language the testbed uses:
+//
+//	// comments
+//	name :: Class(arg, arg);            // declaration
+//	a -> b -> Class(args) -> name;      // connection chains
+//	cl[1] -> Discard;                   // output-port selection
+//	src -> [0]dst;                      // input-port selection (single
+//	                                    // input; the index is validated
+//	                                    // to be 0 and otherwise ignored)
+//
+// Statements are separated by semicolons or newlines.
+
+type parsedElem struct {
+	name    string // "" for anonymous
+	class   string // "" when referencing a declared name
+	args    []string
+	outPort int
+}
+
+type stmt struct {
+	decl  *parsedElem   // declaration statement
+	chain []*parsedElem // connection statement
+}
+
+func stripComments(s string) string {
+	var b strings.Builder
+	lines := strings.Split(s, "\n")
+	for _, ln := range lines {
+		if i := strings.Index(ln, "//"); i >= 0 {
+			ln = ln[:i]
+		}
+		b.WriteString(ln)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func parseConfig(src string) ([]stmt, error) {
+	src = stripComments(src)
+	// Newlines terminate statements only outside parentheses; normalize
+	// by replacing newlines with ';' when balanced.
+	var norm strings.Builder
+	depth := 0
+	for _, r := range src {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case '\n':
+			if depth == 0 {
+				norm.WriteRune(';')
+				continue
+			}
+		}
+		norm.WriteRune(r)
+	}
+	var out []stmt
+	for _, raw := range strings.Split(norm.String(), ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		s, err := parseStmt(raw)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func parseStmt(raw string) (stmt, error) {
+	parts, err := splitArrows(raw)
+	if err != nil {
+		return stmt{}, err
+	}
+	if len(parts) == 1 {
+		e, err := parseElem(parts[0])
+		if err != nil {
+			return stmt{}, err
+		}
+		if e.name == "" || e.class == "" {
+			return stmt{}, fmt.Errorf("fastclick: statement %q is neither declaration nor connection", raw)
+		}
+		return stmt{decl: e}, nil
+	}
+	var chain []*parsedElem
+	for _, p := range parts {
+		e, err := parseElem(p)
+		if err != nil {
+			return stmt{}, err
+		}
+		chain = append(chain, e)
+	}
+	return stmt{chain: chain}, nil
+}
+
+// splitArrows splits on "->" outside parentheses.
+func splitArrows(s string) ([]string, error) {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("fastclick: unbalanced parens in %q", s)
+			}
+		case '-':
+			if depth == 0 && i+1 < len(s) && s[i+1] == '>' {
+				parts = append(parts, s[start:i])
+				i++
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("fastclick: unbalanced parens in %q", s)
+	}
+	parts = append(parts, s[start:])
+	return parts, nil
+}
+
+// parseElem parses one element reference:
+//
+//	name | name[out] | Class(args) | Class(args)[out] |
+//	name :: Class(args) | [in]name (in must be 0)
+func parseElem(s string) (*parsedElem, error) {
+	s = strings.TrimSpace(s)
+	e := &parsedElem{}
+	// Leading input-port index.
+	if strings.HasPrefix(s, "[") {
+		end := strings.Index(s, "]")
+		if end < 0 {
+			return nil, fmt.Errorf("fastclick: bad input port in %q", s)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(s[1:end]))
+		if err != nil || n != 0 {
+			return nil, fmt.Errorf("fastclick: only input port 0 is supported (got %q)", s)
+		}
+		s = strings.TrimSpace(s[end+1:])
+	}
+	// Trailing output-port index (only valid when s ends with "]").
+	if strings.HasSuffix(s, "]") {
+		open := strings.LastIndex(s, "[")
+		if open < 0 {
+			return nil, fmt.Errorf("fastclick: bad output port in %q", s)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(s[open+1 : len(s)-1]))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("fastclick: bad output port in %q", s)
+		}
+		e.outPort = n
+		s = strings.TrimSpace(s[:open])
+	}
+	// name :: Class(args)
+	if i := strings.Index(s, "::"); i >= 0 {
+		e.name = strings.TrimSpace(s[:i])
+		s = strings.TrimSpace(s[i+2:])
+		if e.name == "" {
+			return nil, fmt.Errorf("fastclick: empty name in declaration %q", s)
+		}
+	}
+	if i := strings.Index(s, "("); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return nil, fmt.Errorf("fastclick: bad arguments in %q", s)
+		}
+		e.class = strings.TrimSpace(s[:i])
+		for _, a := range strings.Split(s[i+1:len(s)-1], ",") {
+			a = strings.TrimSpace(a)
+			if a != "" {
+				e.args = append(e.args, a)
+			}
+		}
+	} else if s != "" {
+		if isClassName(s) && e.name == "" {
+			e.class = s // bare class, e.g. "Discard"
+		} else if e.name != "" {
+			e.class = s
+		} else {
+			e.name = s
+		}
+	}
+	if e.name == "" && e.class == "" {
+		return nil, fmt.Errorf("fastclick: empty element")
+	}
+	return e, nil
+}
+
+// isClassName reports whether s looks like a class (leading upper case).
+func isClassName(s string) bool {
+	return len(s) > 0 && s[0] >= 'A' && s[0] <= 'Z'
+}

@@ -1,0 +1,419 @@
+// Package ovs models Open vSwitch with the DPDK datapath (OvS-DPDK 2.11):
+// a self-contained match/action SDN switch.
+//
+// The data plane implements OvS's real three-tier lookup:
+//
+//  1. EMC — the exact-match cache, a bounded hash table from the full
+//     packet key to the matched rule;
+//  2. the megaflow cache (dpcls) — tuple-space search: one hash table per
+//     in-use wildcard mask, probed in order of decreasing max priority;
+//  3. the slow path — the full OpenFlow table, after which megaflow and
+//     EMC entries are installed.
+//
+// Rules are installed with an ovs-ofctl–style add-flow parser (flow.go).
+// The paper's p2p result (8.05 Gbps at 64B) reflects the match/action
+// pipeline tax even when the EMC hits on every packet of a single flow.
+package ovs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/l2"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// Burst is the DPDK RX burst size.
+const Burst = 32
+
+// EMCCapacity matches OvS's per-PMD exact match cache size.
+const EMCCapacity = 8192
+
+// Cost constants, calibrated to land p2p 64B at ≈ 83 ns/packet (Fig. 4a:
+// 8.05 Gbps unidirectional).
+const (
+	parsePerPkt    = 30  // miniflow extraction
+	emcHitPerPkt   = 40  // beyond the hash probe itself
+	applyPerPkt    = 26  // action execution + batching to output
+	megaflowExtra  = 90  // per megaflow-tier probe (beyond hash cost)
+	slowPathCost   = 900 // full classifier walk + cache installs
+	perPktOverhead = 50  // dp_netdev per-packet bookkeeping
+	jitterFrac     = 0.04
+
+	// Revalidation: a periodic bookkeeping stall (flow stats, EMC sweep).
+	revalInterval = 10 * units.Millisecond
+	revalStall    = 25 * units.Microsecond
+)
+
+// vhostMod models OvS's instability when vhost-user ports are in play
+// (the paper's loopback 0.99·R⁺ rows): sustained phases where per-packet
+// cost degrades faster than the post-phase headroom can drain the backlog.
+var vhostMod = cost.Modulation{
+	HighFactor: 1.15, HighDur: 1200 * units.Microsecond,
+	LowFactor: 0.97, LowDur: 800 * units.Microsecond,
+}
+
+type emcEntry struct {
+	key  packedKey
+	rule *Rule
+}
+
+type maskGroup struct {
+	mask    mask
+	maxPrio int
+	flows   map[packedKey]*Rule
+}
+
+// Switch is an OvS-DPDK instance.
+type Switch struct {
+	env   switchdef.Env
+	ports []switchdef.DevPort
+	rng   *sim.RNG
+
+	rules  []*Rule
+	groups []*maskGroup // tuple-space, sorted by maxPrio desc
+
+	emc map[packedKey]emcEntry
+	// The megaflow cache. Entries are installed by the slow path under
+	// an "unwildcarded" mask — the union of every subtable mask that
+	// could have decided the packet — so cached decisions can never
+	// shadow a higher-priority rule (OvS's correctness invariant).
+	mega      map[packedKey]*Rule
+	megaOf    map[packedKey]mask // which mask produced the entry
+	megaMasks []mask             // distinct installed megaflow masks
+	mac       *l2.MACTable       // for the NORMAL action
+	nextRev   units.Time
+	hasVhost  bool
+	noEMC     bool
+
+	txStage [][]*pkt.Buf
+
+	// Stats.
+	EMCHits, MegaHits, SlowHits, NoMatch int64
+	Forwarded, Dropped                   int64
+}
+
+var info = switchdef.Info{
+	Name:              "ovs",
+	Display:           "OvS-DPDK",
+	Version:           "2.11.90",
+	SelfContained:     true,
+	Paradigm:          "match/action",
+	ProcessingModel:   "RTC",
+	VirtualIface:      "vhost-user",
+	Reprogrammability: "medium",
+	Languages:         "C",
+	MainPurpose:       "SDN switch",
+	BestAt:            "Stateless SDN deployments",
+	Remarks:           "Supports OpenFlow protocol",
+	IOMode:            switchdef.PollMode,
+}
+
+// New returns an OvS instance with an empty flow table.
+func New(env switchdef.Env) *Switch {
+	return &Switch{
+		env:    env,
+		rng:    env.RNG.Derive("ovs"),
+		emc:    make(map[packedKey]emcEntry, EMCCapacity),
+		mega:   map[packedKey]*Rule{},
+		megaOf: map[packedKey]mask{},
+		mac:    l2.NewMACTable(4096, 0),
+	}
+}
+
+// Info implements switchdef.Switch.
+func (sw *Switch) Info() switchdef.Info { return info }
+
+// AddPort implements switchdef.Switch.
+func (sw *Switch) AddPort(p switchdef.DevPort) int {
+	sw.ports = append(sw.ports, p)
+	sw.txStage = append(sw.txStage, nil)
+	if p.Kind() == switchdef.VhostKind {
+		sw.hasVhost = true
+	}
+	return len(sw.ports) - 1
+}
+
+// AddFlow installs one rule from ovs-ofctl add-flow syntax.
+func (sw *Switch) AddFlow(flow string) error {
+	r, err := parseFlow(flow)
+	if err != nil {
+		return err
+	}
+	for _, a := range r.Actions {
+		if a.Kind == ActOutput && a.Port >= len(sw.ports) {
+			return fmt.Errorf("ovs: flow %q outputs to missing port %d", flow, a.Port)
+		}
+	}
+	r.seq = len(sw.rules)
+	sw.rules = append(sw.rules, r)
+	sw.rebuildGroups()
+	sw.invalidateCaches()
+	return nil
+}
+
+// DelFlows clears the flow table (ovs-ofctl del-flows).
+func (sw *Switch) DelFlows() {
+	sw.rules = nil
+	sw.groups = nil
+	sw.invalidateCaches()
+}
+
+func (sw *Switch) invalidateCaches() {
+	sw.emc = make(map[packedKey]emcEntry, EMCCapacity)
+	sw.mega = map[packedKey]*Rule{}
+	sw.megaOf = map[packedKey]mask{}
+	sw.megaMasks = nil
+}
+
+func (sw *Switch) rebuildGroups() {
+	byMask := map[mask]*maskGroup{}
+	var order []*maskGroup
+	for _, r := range sw.rules {
+		g, ok := byMask[r.Mask]
+		if !ok {
+			g = &maskGroup{mask: r.Mask, maxPrio: r.Priority, flows: map[packedKey]*Rule{}}
+			byMask[r.Mask] = g
+			order = append(order, g)
+		}
+		if r.Priority > g.maxPrio {
+			g.maxPrio = r.Priority
+		}
+		// Highest priority wins within identical masked matches.
+		if old, dup := g.flows[r.Match]; !dup || r.beats(old) {
+			g.flows[r.Match] = r
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].maxPrio > order[j].maxPrio })
+	sw.groups = order
+}
+
+// CrossConnect implements switchdef.Switch with two port-based rules, as the
+// paper's appendix does via ovs-ofctl.
+func (sw *Switch) CrossConnect(a, b int) error {
+	if a < 0 || a >= len(sw.ports) || b < 0 || b >= len(sw.ports) {
+		return fmt.Errorf("ovs: bad ports %d,%d", a, b)
+	}
+	if err := sw.AddFlow(fmt.Sprintf("in_port=%d,actions=output:%d", a, b)); err != nil {
+		return err
+	}
+	return sw.AddFlow(fmt.Sprintf("in_port=%d,actions=output:%d", b, a))
+}
+
+func shard(rxPorts []int, n int) []int { return switchdef.Shard(rxPorts, n) }
+
+// classify finds the rule for a key, exercising EMC → megaflow → slow path,
+// charging lookup costs as it goes.
+func (sw *Switch) classify(now units.Time, m *cost.Meter, key FlowKey) *Rule {
+	full := key.pack()
+	if !sw.noEMC {
+		m.Charge(m.Model.HashLookup)
+		if e, ok := sw.emc[full]; ok && e.key == full {
+			sw.EMCHits++
+			m.Charge(emcHitPerPkt)
+			e.rule.Hits++
+			return e.rule
+		}
+	}
+	// Megaflow (tuple space) tier: probe each installed megaflow mask.
+	for _, mk := range sw.megaMasks {
+		masked := mk.apply(full)
+		m.Charge(m.Model.HashLookup + megaflowExtra)
+		if r, ok := sw.mega[masked]; ok && sw.megaOf[masked] == mk {
+			sw.MegaHits++
+			r.Hits++
+			sw.installEMC(full, r)
+			return r
+		}
+	}
+	// Slow path: full tuple-space search over the OpenFlow table.
+	m.Charge(slowPathCost)
+	var best *Rule
+	for _, g := range sw.groups {
+		masked := g.mask.apply(full)
+		if r, ok := g.flows[masked]; ok && r.beats(best) {
+			best = r
+		}
+	}
+	if best == nil {
+		sw.NoMatch++
+		return nil
+	}
+	sw.SlowHits++
+	best.Hits++
+	sw.installMegaflow(full, best)
+	sw.installEMC(full, best)
+	return best
+}
+
+// installMegaflow caches the decision under the unwildcarded mask: the
+// union of every subtable mask whose priority range could have decided
+// this packet. Any packet matching the resulting entry is guaranteed to
+// resolve to the same rule in the full table.
+func (sw *Switch) installMegaflow(full packedKey, best *Rule) {
+	var union mask
+	for _, g := range sw.groups {
+		if g.maxPrio < best.Priority {
+			continue
+		}
+		for i := range union {
+			union[i] |= g.mask[i]
+		}
+	}
+	masked := union.apply(full)
+	known := false
+	for _, mk := range sw.megaMasks {
+		if mk == union {
+			known = true
+			break
+		}
+	}
+	if !known {
+		sw.megaMasks = append(sw.megaMasks, union)
+	}
+	sw.mega[masked] = best
+	sw.megaOf[masked] = union
+}
+
+// SetEMC enables or disables the exact-match cache (the
+// other_config:emc-insert-inv-prob=0 ablation).
+func (sw *Switch) SetEMC(enabled bool) { sw.noEMC = !enabled }
+
+func (sw *Switch) installEMC(full packedKey, r *Rule) {
+	if sw.noEMC {
+		return
+	}
+	if len(sw.emc) >= EMCCapacity {
+		// Random eviction, like OvS's probabilistic EMC replacement.
+		for k := range sw.emc {
+			delete(sw.emc, k)
+			break
+		}
+	}
+	sw.emc[full] = emcEntry{key: full, rule: r}
+}
+
+// Poll implements switchdef.Switch.
+func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
+	return sw.PollShard(now, m, nil)
+}
+
+// PollShard implements switchdef.MultiCore (one PMD thread's ports).
+func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
+	if sw.nextRev == 0 {
+		sw.nextRev = now + revalInterval
+	}
+	if now >= sw.nextRev {
+		m.Stall(revalStall)
+		sw.nextRev = now + revalInterval
+	}
+	var burst [Burst]*pkt.Buf
+	did := false
+	for _, i := range shard(rxPorts, len(sw.ports)) {
+		p := sw.ports[i]
+		n := p.RxBurst(now, m, burst[:])
+		if n == 0 {
+			continue
+		}
+		did = true
+		factor := 1.0
+		if sw.hasVhost {
+			factor = vhostMod.Factor(now)
+		}
+		for _, b := range burst[:n] {
+			m.ChargeNoisy(units.Cycles(float64(parsePerPkt+perPktOverhead)*factor), jitterFrac)
+			key := extractKey(b, i)
+			rule := sw.classify(now, m, key)
+			if rule == nil {
+				b.Free()
+				sw.Dropped++
+				continue
+			}
+			sw.apply(now, m, b, i, key, rule)
+		}
+	}
+	for _, i := range shard(rxPorts, len(sw.ports)) {
+		stage := sw.txStage[i]
+		if len(stage) == 0 {
+			continue
+		}
+		did = true
+		sent := sw.ports[i].TxBurst(now, m, stage)
+		sw.Forwarded += int64(sent)
+		sw.Dropped += int64(len(stage) - sent)
+		sw.txStage[i] = stage[:0]
+	}
+	return did
+}
+
+func (sw *Switch) apply(now units.Time, m *cost.Meter, b *pkt.Buf, inPort int, key FlowKey, r *Rule) {
+	m.Charge(applyPerPkt)
+	out := -1
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case ActDrop:
+			b.Free()
+			sw.Dropped++
+			return
+		case ActOutput:
+			out = a.Port
+		case ActModDlDst:
+			pkt.SetEthDst(b.Bytes(), a.MAC)
+		case ActModDlSrc:
+			pkt.SetEthSrc(b.Bytes(), a.MAC)
+		case ActModVlanVid:
+			pkt.PopVLAN(b)
+			pkt.PushVLAN(b, uint16(a.Port))
+			m.Charge(20)
+		case ActStripVlan:
+			pkt.PopVLAN(b)
+			m.Charge(12)
+		case ActNormal:
+			sw.mac.Learn(key.EthSrc, inPort, now)
+			m.Charge(2 * m.Model.HashLookup)
+			if p, ok := sw.mac.Lookup(key.EthDst, now); ok && p != inPort {
+				out = p
+			} else {
+				// Flood.
+				for p := range sw.ports {
+					if p == inPort {
+						continue
+					}
+					clone := sw.env.Pool.Clone(b)
+					m.ChargeCopy(b.Len())
+					sw.txStage[p] = append(sw.txStage[p], clone)
+				}
+				b.Free()
+				return
+			}
+		}
+	}
+	if out < 0 || out >= len(sw.ports) {
+		b.Free()
+		sw.Dropped++
+		return
+	}
+	sw.txStage[out] = append(sw.txStage[out], b)
+}
+
+// Rules returns the installed rules (for tests and the CLI).
+func (sw *Switch) Rules() []*Rule { return sw.rules }
+
+// DumpFlows renders the flow table in ovs-ofctl dump-flows style: one line
+// per rule with its hit counter.
+func (sw *Switch) DumpFlows() string {
+	var b strings.Builder
+	for _, r := range sw.rules {
+		fmt.Fprintf(&b, "n_packets=%d, priority=%d, %s\n", r.Hits, r.Priority, r.Text)
+	}
+	return b.String()
+}
+
+func init() {
+	switchdef.Register(info, func(env switchdef.Env) switchdef.Switch { return New(env) })
+}

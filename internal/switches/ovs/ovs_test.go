@@ -1,0 +1,452 @@
+package ovs
+
+import (
+	"fmt"
+	"repro/internal/sim"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/switches/switchtest"
+)
+
+func newSUT(t *testing.T, ports int) (*Switch, []*switchtest.FakePort, switchdef.Env) {
+	t.Helper()
+	env := switchtest.Env()
+	sw := New(env)
+	fps := make([]*switchtest.FakePort, ports)
+	for i := range fps {
+		fps[i] = switchtest.NewFakePort("p")
+		sw.AddPort(fps[i])
+	}
+	return sw, fps, env
+}
+
+func TestParseFlowBasics(t *testing.T) {
+	r, err := parseFlow("priority=100,in_port=1,dl_dst=02:00:00:00:00:02,actions=output:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Priority != 100 || len(r.Actions) != 1 || r.Actions[0].Kind != ActOutput || r.Actions[0].Port != 2 {
+		t.Fatalf("rule = %+v", r)
+	}
+	r2, err := parseFlow("actions=NORMAL")
+	if err != nil || r2.Actions[0].Kind != ActNormal {
+		t.Fatalf("NORMAL: %+v, %v", r2, err)
+	}
+	r3, err := parseFlow("in_port=2,actions=mod_dl_dst:02:00:00:00:00:01,output:1")
+	if err != nil || len(r3.Actions) != 2 || r3.Actions[0].Kind != ActModDlDst {
+		t.Fatalf("mod_dl_dst: %+v, %v", r3, err)
+	}
+}
+
+func TestParseFlowFields(t *testing.T) {
+	r, err := parseFlow("dl_type=0x0800,nw_src=10.0.0.1,nw_proto=17,tp_dst=2000,actions=drop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mask must cover exactly the named fields.
+	named := 0
+	for _, f := range []string{"dl_type", "nw_src", "nw_proto", "tp_dst"} {
+		span := fieldSpans[f]
+		for i := span.off; i < span.off+span.len; i++ {
+			if r.Mask[i] != 0xff {
+				t.Fatalf("field %s not masked", f)
+			}
+			named++
+		}
+	}
+	for i, m := range r.Mask {
+		if m == 0 {
+			continue
+		}
+		in := false
+		for _, f := range []string{"dl_type", "nw_src", "nw_proto", "tp_dst"} {
+			span := fieldSpans[f]
+			if i >= span.off && i < span.off+span.len {
+				in = true
+			}
+		}
+		if !in {
+			t.Fatalf("unexpected mask byte at %d", i)
+		}
+	}
+}
+
+func TestParseFlowErrors(t *testing.T) {
+	for _, s := range []string{
+		"in_port=1",                  // no actions
+		"bogus=3,actions=drop",       // unknown field
+		"in_port=x,actions=drop",     // bad value
+		"actions=output:-2",          // bad port
+		"actions=teleport",           // unknown action
+		"actions=",                   // empty
+		"nw_src=10.0.0,actions=drop", // bad IP
+		"dl_dst=zz,actions=drop",     // bad MAC
+		"priority=abc,actions=drop",  // bad priority
+	} {
+		if _, err := parseFlow(s); err == nil {
+			t.Errorf("parseFlow(%q) accepted", s)
+		}
+	}
+}
+
+func TestCrossConnectForwardsAndCaches(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	if err := sw.CrossConnect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	for i := 0; i < 3; i++ {
+		fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+		switchtest.PollUntilIdle(sw, m, 0)
+	}
+	if len(fps[1].Out) != 3 {
+		t.Fatalf("out = %d", len(fps[1].Out))
+	}
+	// First packet takes the slow path, the rest hit the EMC: the
+	// three-tier cache behaviour the paper's single-flow traffic shows.
+	if sw.SlowHits != 1 {
+		t.Fatalf("slow hits = %d", sw.SlowHits)
+	}
+	if sw.EMCHits != 2 {
+		t.Fatalf("EMC hits = %d", sw.EMCHits)
+	}
+}
+
+func TestMegaflowHitAfterEMCMiss(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	// Wildcard rule on in_port only: different flows share a megaflow.
+	if err := sw.AddFlow("in_port=0,actions=output:1"); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	// Two different source MACs: both miss the EMC initially; the second
+	// hits the megaflow installed by the first.
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 0xaa}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 0xbb}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 1)
+	if sw.SlowHits != 1 || sw.MegaHits != 1 {
+		t.Fatalf("slow=%d mega=%d", sw.SlowHits, sw.MegaHits)
+	}
+	if len(fps[1].Out) != 2 {
+		t.Fatalf("out = %d", len(fps[1].Out))
+	}
+}
+
+func TestPriorityWins(t *testing.T) {
+	sw, fps, env := newSUT(t, 3)
+	if err := sw.AddFlow("priority=1,in_port=0,actions=output:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddFlow("priority=10,in_port=0,dl_dst=02:00:00:00:00:99,actions=output:2"); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 0x99}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[2].Out) != 1 || len(fps[1].Out) != 0 {
+		t.Fatalf("priority violated: out1=%d out2=%d", len(fps[1].Out), len(fps[2].Out))
+	}
+}
+
+func TestNoMatchDrops(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	if err := sw.AddFlow("in_port=1,actions=output:0"); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if sw.NoMatch != 1 || sw.Dropped != 1 {
+		t.Fatalf("nomatch=%d dropped=%d", sw.NoMatch, sw.Dropped)
+	}
+	if env.Pool.Live() != 0 {
+		t.Fatal("leaked buffer")
+	}
+}
+
+func TestDropActionAndModDl(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	if err := sw.AddFlow("in_port=0,dl_type=0x0806,actions=drop"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddFlow("priority=1,in_port=0,actions=mod_dl_src:aa:aa:aa:aa:aa:aa,output:1"); err != nil {
+		t.Fatal(err)
+	}
+	arp := switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64)
+	arp.Bytes()[12], arp.Bytes()[13] = 0x08, 0x06
+	ip := switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64)
+	fps[0].In = append(fps[0].In, arp, ip)
+	m := switchtest.Meter(env)
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 {
+		t.Fatalf("out = %d", len(fps[1].Out))
+	}
+	want, _ := pkt.ParseMAC("aa:aa:aa:aa:aa:aa")
+	if pkt.EthSrc(fps[1].Out[0].Bytes()) != want {
+		t.Fatal("mod_dl_src not applied")
+	}
+}
+
+func TestNormalActionLearnsAndFloods(t *testing.T) {
+	sw, fps, env := newSUT(t, 3)
+	if err := sw.AddFlow("actions=NORMAL"); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	a, b := pkt.MAC{2, 0, 0, 0, 0, 0xa}, pkt.MAC{2, 0, 0, 0, 0, 0xb}
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, a, b, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 || len(fps[2].Out) != 1 {
+		t.Fatalf("flood = %d, %d", len(fps[1].Out), len(fps[2].Out))
+	}
+	fps[1].In = append(fps[1].In, switchtest.Frame(env.Pool, b, a, 64))
+	switchtest.PollUntilIdle(sw, m, 1)
+	if len(fps[0].Out) != 1 || len(fps[2].Out) != 1 {
+		t.Fatalf("unicast after learn = %d, %d", len(fps[0].Out), len(fps[2].Out))
+	}
+}
+
+func TestAddFlowValidatesOutputPort(t *testing.T) {
+	sw, _, _ := newSUT(t, 2)
+	if err := sw.AddFlow("in_port=0,actions=output:9"); err == nil {
+		t.Fatal("flow to missing port accepted")
+	}
+}
+
+func TestDelFlowsInvalidatesCaches(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	_ = sw.CrossConnect(0, 1)
+	m := switchtest.Meter(env)
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	sw.DelFlows()
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 1)
+	if sw.NoMatch != 1 {
+		t.Fatalf("stale cache served after del-flows: nomatch=%d", sw.NoMatch)
+	}
+}
+
+// Property: key pack/mask arithmetic — masked keys are idempotent and
+// packing is injective for distinct in_port/MAC combinations.
+func TestPropertyMaskIdempotent(t *testing.T) {
+	f := func(inPort uint16, dst, src [6]byte, maskBytes [keyLen]byte) bool {
+		k := FlowKey{InPort: inPort, EthDst: pkt.MAC(dst), EthSrc: pkt.MAC(src)}
+		full := k.pack()
+		m := mask(maskBytes)
+		once := m.apply(full)
+		twice := m.apply(once)
+		return once == twice
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRuleTextPreserved(t *testing.T) {
+	sw, _, _ := newSUT(t, 2)
+	const text = "in_port=0,actions=output:1"
+	if err := sw.AddFlow(text); err != nil {
+		t.Fatal(err)
+	}
+	if got := sw.Rules()[0].Text; got != text {
+		t.Fatalf("rule text = %q", got)
+	}
+}
+
+func TestSetEMCDisabled(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	sw.SetEMC(false)
+	_ = sw.CrossConnect(0, 1)
+	m := switchtest.Meter(env)
+	for i := 0; i < 3; i++ {
+		fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+		switchtest.PollUntilIdle(sw, m, 0)
+	}
+	if sw.EMCHits != 0 {
+		t.Fatalf("EMC hits with cache disabled: %d", sw.EMCHits)
+	}
+	// Forwarding still works via the megaflow tier.
+	if len(fps[1].Out) != 3 || sw.MegaHits != 2 {
+		t.Fatalf("out=%d mega=%d", len(fps[1].Out), sw.MegaHits)
+	}
+}
+
+func TestVLANTagUntagPipeline(t *testing.T) {
+	// Access port 0 tags into VLAN 100 toward trunk port 1; the reverse
+	// direction untags — a classic OvS deployment.
+	sw, fps, env := newSUT(t, 2)
+	if err := sw.AddFlow("in_port=0,actions=mod_vlan_vid:100,output:1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddFlow("in_port=1,dl_vlan=100,actions=strip_vlan,output:0"); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 {
+		t.Fatalf("tagged out = %d", len(fps[1].Out))
+	}
+	tagged := fps[1].Out[0]
+	if id, ok := pkt.VLANID(tagged.Bytes()); !ok || id != 100 {
+		t.Fatalf("vlan = %d, %v", id, ok)
+	}
+	if tagged.Len() != 68 {
+		t.Fatalf("tagged len = %d", tagged.Len())
+	}
+	// Send it back in on the trunk: it must be untagged on egress.
+	fps[1].In = append(fps[1].In, env.Pool.Clone(tagged))
+	switchtest.PollUntilIdle(sw, m, 1)
+	if len(fps[0].Out) != 1 {
+		t.Fatalf("untagged out = %d", len(fps[0].Out))
+	}
+	if _, ok := pkt.VLANID(fps[0].Out[0].Bytes()); ok {
+		t.Fatal("tag not stripped")
+	}
+	if fps[0].Out[0].Len() != 64 {
+		t.Fatalf("untagged len = %d", fps[0].Out[0].Len())
+	}
+}
+
+func TestVLANMatchDistinguishesTags(t *testing.T) {
+	sw, fps, env := newSUT(t, 3)
+	_ = sw.AddFlow("in_port=0,dl_vlan=10,actions=output:1")
+	_ = sw.AddFlow("in_port=0,dl_vlan=20,actions=output:2")
+	m := switchtest.Meter(env)
+	for _, vid := range []uint16{10, 20} {
+		f := switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64)
+		pkt.PushVLAN(f, vid)
+		fps[0].In = append(fps[0].In, f)
+	}
+	// Untagged frame matches neither rule.
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 || len(fps[2].Out) != 1 {
+		t.Fatalf("out = %d, %d", len(fps[1].Out), len(fps[2].Out))
+	}
+	if sw.NoMatch != 1 {
+		t.Fatalf("untagged frame matched: nomatch=%d", sw.NoMatch)
+	}
+}
+
+func TestDumpFlows(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	_ = sw.CrossConnect(0, 1)
+	m := switchtest.Meter(env)
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	dump := sw.DumpFlows()
+	if !strings.Contains(dump, "n_packets=1") || !strings.Contains(dump, "in_port=0,actions=output:1") {
+		t.Fatalf("dump = %q", dump)
+	}
+}
+
+// TestMegaflowDoesNotShadowHigherPriority is the unwildcarding regression:
+// a cached low-priority decision must never swallow packets that the full
+// table would give to a higher-priority rule with a different mask.
+func TestMegaflowDoesNotShadowHigherPriority(t *testing.T) {
+	sw, fps, env := newSUT(t, 3)
+	special, _ := pkt.ParseMAC("02:00:00:00:00:99")
+	if err := sw.AddFlow("priority=10,dl_dst=02:00:00:00:00:99,actions=output:2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.AddFlow("priority=1,in_port=0,actions=output:1"); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	// First: an ordinary packet takes the low-priority port rule and
+	// installs a megaflow.
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 {
+		t.Fatalf("plain packet out = %d", len(fps[1].Out))
+	}
+	// Then: same in_port, but the special destination — must go to the
+	// high-priority rule's port even though a megaflow exists for the
+	// in_port rule.
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, special, 64))
+	switchtest.PollUntilIdle(sw, m, 1)
+	if len(fps[2].Out) != 1 {
+		t.Fatalf("special packet misforwarded: out1=%d out2=%d", len(fps[1].Out), len(fps[2].Out))
+	}
+}
+
+// refClassify is the straightforward highest-priority-match reference.
+func refClassify(rules []*Rule, full packedKey) *Rule {
+	var best *Rule
+	for _, r := range rules {
+		if r.Mask.apply(full) == r.Match && r.beats(best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// TestPropertyCachedClassifierMatchesReference drives random rule sets and
+// packet sequences through the full three-tier pipeline and checks every
+// decision against the reference classifier — caches must be transparent.
+func TestPropertyCachedClassifierMatchesReference(t *testing.T) {
+	fields := []string{"in_port", "dl_dst", "dl_src", "tp_dst", "nw_proto"}
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		env := switchtest.Env()
+		sw := New(env)
+		for i := 0; i < 4; i++ {
+			sw.AddPort(switchtest.NewFakePort("p"))
+		}
+		// Random rules over random field subsets.
+		nRules := 1 + rng.Intn(8)
+		for i := 0; i < nRules; i++ {
+			flow := fmt.Sprintf("priority=%d", rng.Intn(20))
+			for _, fd := range fields {
+				if !rng.Bernoulli(0.4) {
+					continue
+				}
+				switch fd {
+				case "in_port":
+					flow += fmt.Sprintf(",in_port=%d", rng.Intn(3))
+				case "dl_dst":
+					flow += fmt.Sprintf(",dl_dst=02:00:00:00:00:%02x", rng.Intn(4))
+				case "dl_src":
+					flow += fmt.Sprintf(",dl_src=02:00:00:00:01:%02x", rng.Intn(4))
+				case "tp_dst":
+					flow += fmt.Sprintf(",tp_dst=%d", 2000+rng.Intn(3))
+				case "nw_proto":
+					flow += ",nw_proto=17"
+				}
+			}
+			flow += fmt.Sprintf(",actions=output:%d", rng.Intn(4))
+			if err := sw.AddFlow(flow); err != nil {
+				return false
+			}
+		}
+		// Random packet keys, repeated to exercise EMC and megaflow hits.
+		m := switchtest.Meter(env)
+		for i := 0; i < 300; i++ {
+			key := FlowKey{
+				InPort:  uint16(rng.Intn(3)),
+				EthDst:  pkt.MAC{2, 0, 0, 0, 0, byte(rng.Intn(4))},
+				EthSrc:  pkt.MAC{2, 0, 0, 0, 1, byte(rng.Intn(4))},
+				EthType: pkt.EtherTypeIPv4,
+				IPProto: 17,
+				L4Dst:   uint16(2000 + rng.Intn(3)),
+			}
+			got := sw.classify(0, m, key)
+			want := refClassify(sw.Rules(), key.pack())
+			if got != want {
+				return false
+			}
+			m.Drain()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,349 @@
+// Package snabb models the Snabb switch (commit 771b55c): a Lua/LuaJIT app
+// engine in which "apps" connected by links process packets in engine
+// "breaths".
+//
+// Each breath pulls packets from source apps into links, then runs push
+// apps in configuration order. Two Snabb signatures are modelled
+// explicitly:
+//
+//   - LuaJIT warmup: per-packet cost starts high and decays as hot traces
+//     compile (the paper credits Snabb's runtime optimization; its cost is
+//     the elevated latency of the early packets and the periodic trace
+//     work);
+//   - overload collapse: past ~9 apps the trace cache churns and the
+//     per-packet cost multiplies, reproducing the paper's throughput
+//     plummet at 4-VNF loopback chains (Fig. 5) — "the workload is too
+//     much to handle with a single core".
+//
+// Snabb implements its own vhost-user backend, priced slightly cheaper
+// than DPDK's (VhostCostScale), which is why its v2v outperforms its p2v
+// in Fig. 4.
+package snabb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/ring"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// LinkCap is the Snabb inter-app link ring size.
+const LinkCap = 1024
+
+// PullBatch is how many packets a source app pulls per breath.
+const PullBatch = 128
+
+// Cost constants, calibrated to land p2p 64B at ≈ 75 ns/packet (Fig. 4a:
+// 8.9 Gbps unidirectional).
+const (
+	breathFixed   = 150 // engine loop, timeline, app housekeeping
+	appRunFixed   = 70  // per app run per breath
+	nicPerPkt     = 33  // NIC app per-packet work
+	physRxExtra   = 39  // Snabb's own (non-DPDK) NIC driver receive tax
+	physTxExtra   = 9
+	linkPerPkt    = 9   // link push/pop
+	warmupFactor  = 2.0 // initial JIT penalty multiplier (decays)
+	warmupPackets = 30000
+	thrashApps    = 9 // app count beyond which the trace cache thrashes
+	thrashFactor  = 2.6
+	jitterFrac    = 0.05
+	// idleSleep is the engine's inter-breath pause while underloaded
+	// (Snabb's timer-paced breath loop); it sets the low-load latency
+	// floor and vanishes under backlog, leaving throughput unaffected.
+	idleSleep      = 8 * units.Microsecond
+	breathFullLoad = 32 // breaths at least this full run back to back
+)
+
+// App is a Snabb app. Source apps implement Pull; processing apps
+// implement Push.
+type App interface {
+	Name() string
+}
+
+// Puller pulls new packets into output links (NIC receive).
+type Puller interface {
+	App
+	Pull(sw *Switch, now units.Time, m *cost.Meter) int
+}
+
+// Pusher consumes packets from input links (NIC transmit, forwarding).
+type Pusher interface {
+	App
+	Push(sw *Switch, now units.Time, m *cost.Meter) int
+}
+
+// Link is a Snabb inter-app link.
+type Link struct {
+	Name string
+	Ring *ring.SPSC
+}
+
+// Switch is a Snabb engine instance.
+type Switch struct {
+	env   switchdef.Env
+	ports []switchdef.DevPort
+
+	apps  []App
+	links []*Link
+
+	now     units.Time
+	pktSeen int64
+
+	// Forwarded and Dropped count data-plane outcomes.
+	Forwarded, Dropped int64
+}
+
+var info = switchdef.Info{
+	Name:              "snabb",
+	Display:           "Snabb",
+	Version:           "771b55c",
+	SelfContained:     false,
+	Paradigm:          "structured",
+	ProcessingModel:   "pipeline",
+	VirtualIface:      "vhost-user",
+	Reprogrammability: "high",
+	Languages:         "Lua, C",
+	MainPurpose:       "VM-to-VM",
+	BestAt:            "Fast deployment, runtime optimization",
+	Remarks:           "Bottlenecked with multiple VNFs",
+	IOMode:            switchdef.PollMode,
+	VhostEnqScale:     1.4,
+	VhostDeqScale:     0.45,
+}
+
+// New returns an empty Snabb engine.
+func New(env switchdef.Env) *Switch { return &Switch{env: env} }
+
+// Info implements switchdef.Switch.
+func (sw *Switch) Info() switchdef.Info { return info }
+
+// AddPort implements switchdef.Switch.
+func (sw *Switch) AddPort(p switchdef.DevPort) int {
+	sw.ports = append(sw.ports, p)
+	return len(sw.ports) - 1
+}
+
+// jitScale is the current LuaJIT cost multiplier.
+func (sw *Switch) jitScale() float64 {
+	s := 1 + warmupFactor*math.Exp(-float64(sw.pktSeen)/warmupPackets)
+	if len(sw.apps) > thrashApps {
+		s *= thrashFactor
+	}
+	return s
+}
+
+func (sw *Switch) chargeApp(m *cost.Meter, perPkt units.Cycles, n int) {
+	c := appRunFixed + units.Cycles(n)*perPkt
+	m.ChargeNoisy(gcMod.Scale(sw.now, units.Cycles(float64(c)*sw.jitScale())), jitterFrac)
+}
+
+// NewLink creates a named inter-app link (config.link).
+func (sw *Switch) NewLink(name string) *Link {
+	l := &Link{Name: name, Ring: ring.New(LinkCap)}
+	sw.links = append(sw.links, l)
+	return l
+}
+
+// AddNICApp creates the paired rx/tx app for a port (config.app with a
+// driver): the returned app pulls from the port into out and pushes from
+// in to the port. Either link may be nil.
+func (sw *Switch) AddNICApp(name string, port int, out, in *Link) (*NICApp, error) {
+	if port < 0 || port >= len(sw.ports) {
+		return nil, fmt.Errorf("snabb: no port %d", port)
+	}
+	a := &NICApp{name: name, dev: sw.ports[port], out: out, in: in}
+	sw.apps = append(sw.apps, a)
+	return a, nil
+}
+
+// CrossConnect implements switchdef.Switch like the paper's custom module:
+//
+//	config.app(c, "nic1", ..., {pciaddr = pci1})
+//	config.app(c, "nic2", ..., {pciaddr = pci2})
+//	config.link(c, "nic1.tx -> nic2.rx")
+func (sw *Switch) CrossConnect(a, b int) error {
+	ab := sw.NewLink(fmt.Sprintf("nic%d.tx -> nic%d.rx", a, b))
+	ba := sw.NewLink(fmt.Sprintf("nic%d.tx -> nic%d.rx", b, a))
+	if _, err := sw.AddNICApp(fmt.Sprintf("nic%d", a), a, ab, ba); err != nil {
+		return err
+	}
+	if _, err := sw.AddNICApp(fmt.Sprintf("nic%d", b), b, ba, ab); err != nil {
+		return err
+	}
+	return nil
+}
+
+// gcMod models LuaJIT GC/trace maintenance phases.
+var gcMod = cost.Modulation{
+	HighFactor: 1.06, HighDur: units.Millisecond,
+	LowFactor: 0.98, LowDur: units.Millisecond,
+}
+
+// Poll implements switchdef.Switch: one engine breath.
+func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
+	return sw.PollShard(now, m, nil)
+}
+
+// PollShard implements switchdef.MultiCore: one engine process running a
+// breath over its share of the apps (Snabb scales by running multiple
+// engine processes).
+func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
+	sw.now = now
+	m.Charge(breathFixed)
+	apps := make([]App, 0, len(sw.apps))
+	for _, i := range switchdef.Shard(rxPorts, len(sw.apps)) {
+		if i < len(sw.apps) {
+			apps = append(apps, sw.apps[i])
+		}
+	}
+	worked := 0
+	for _, a := range apps {
+		if p, ok := a.(Puller); ok {
+			worked += p.Pull(sw, now, m)
+		}
+	}
+	for _, a := range apps {
+		if p, ok := a.(Pusher); ok {
+			worked += p.Push(sw, now, m)
+		}
+	}
+	if worked == 0 {
+		// Engine sleeps between idle breaths.
+		m.Stall(idleSleep)
+		return false
+	}
+	sw.pktSeen += int64(worked)
+	if worked < breathFullLoad {
+		// Underloaded: the engine paces breaths on its timer.
+		m.Stall(idleSleep)
+	}
+	return true
+}
+
+// NICApp couples a device to a pair of links.
+type NICApp struct {
+	name    string
+	dev     switchdef.DevPort
+	out, in *Link
+
+	Rx, Tx int64
+}
+
+// Name implements App.
+func (a *NICApp) Name() string { return a.name }
+
+// Pull implements Puller: device → out link.
+func (a *NICApp) Pull(sw *Switch, now units.Time, m *cost.Meter) int {
+	if a.out == nil {
+		return 0
+	}
+	var burst [PullBatch]*pkt.Buf
+	space := a.out.Ring.Free()
+	if space == 0 {
+		return 0
+	}
+	if space > PullBatch {
+		space = PullBatch
+	}
+	n := a.dev.RxBurst(now, m, burst[:space])
+	if n == 0 {
+		return 0
+	}
+	per := units.Cycles(nicPerPkt + linkPerPkt)
+	if a.dev.Kind() == switchdef.PhysKind {
+		per += physRxExtra
+	}
+	sw.chargeApp(m, per, n)
+	for _, b := range burst[:n] {
+		a.out.Ring.Push(b)
+	}
+	a.Rx += int64(n)
+	return n
+}
+
+// Push implements Pusher: in link → device.
+func (a *NICApp) Push(sw *Switch, now units.Time, m *cost.Meter) int {
+	if a.in == nil {
+		return 0
+	}
+	var burst [PullBatch]*pkt.Buf
+	n := a.in.Ring.DrainTo(burst[:])
+	if n == 0 {
+		return 0
+	}
+	per := units.Cycles(nicPerPkt + linkPerPkt)
+	if a.dev.Kind() == switchdef.PhysKind {
+		per += physTxExtra
+	}
+	sw.chargeApp(m, per, n)
+	sent := a.dev.TxBurst(now, m, burst[:n])
+	a.Tx += int64(sent)
+	sw.Forwarded += int64(sent)
+	sw.Dropped += int64(n - sent)
+	return n
+}
+
+// Apps returns the configured apps.
+func (sw *Switch) Apps() []App { return sw.apps }
+
+func init() {
+	switchdef.Register(info, func(env switchdef.Env) switchdef.Switch { return New(env) })
+}
+
+// FilterApp is a push app dropping frames whose EtherType is not allowed —
+// a minimal example of composing network functions from Snabb apps
+// (config.app with a filter module).
+type FilterApp struct {
+	name    string
+	in, out *Link
+	allow   map[uint16]bool
+
+	Passed, Dropped int64
+}
+
+const filterPerPkt = 14
+
+// AddFilterApp inserts a filter between two links, allowing only the given
+// EtherTypes.
+func (sw *Switch) AddFilterApp(name string, in, out *Link, allow ...uint16) *FilterApp {
+	a := &FilterApp{name: name, in: in, out: out, allow: map[uint16]bool{}}
+	for _, et := range allow {
+		a.allow[et] = true
+	}
+	sw.apps = append(sw.apps, a)
+	return a
+}
+
+// Name implements App.
+func (a *FilterApp) Name() string { return a.name }
+
+// Push implements Pusher: drain the input link, filter, forward.
+func (a *FilterApp) Push(sw *Switch, now units.Time, m *cost.Meter) int {
+	var burst [PullBatch]*pkt.Buf
+	n := a.in.Ring.DrainTo(burst[:])
+	if n == 0 {
+		return 0
+	}
+	sw.chargeApp(m, filterPerPkt+linkPerPkt, n)
+	for _, b := range burst[:n] {
+		eth, err := pkt.ParseEth(b.Bytes())
+		if err != nil || !a.allow[eth.EtherType] {
+			b.Free()
+			a.Dropped++
+			sw.Dropped++
+			continue
+		}
+		if !a.out.Ring.Push(b) {
+			b.Free()
+			a.Dropped++
+			sw.Dropped++
+			continue
+		}
+		a.Passed++
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package switchdef
+
+import (
+	"repro/internal/cost"
+	"repro/internal/nic"
+	"repro/internal/pkt"
+	"repro/internal/ptnet"
+	"repro/internal/units"
+	"repro/internal/vhost"
+)
+
+// PhysPort adapts a physical NIC port to the DevPort interface, pricing I/O
+// like a DPDK poll-mode driver. Setting Unpriced makes the adapter charge
+// nothing, for switches (VALE/netmap) that price NIC I/O in their own data
+// plane instead.
+type PhysPort struct {
+	Port     *nic.Port
+	Unpriced bool
+}
+
+// Kind implements DevPort.
+func (p *PhysPort) Kind() PortKind { return PhysKind }
+
+// Name implements DevPort.
+func (p *PhysPort) Name() string { return p.Port.Name() }
+
+// RxBurst implements DevPort.
+func (p *PhysPort) RxBurst(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
+	n := p.Port.RxBurst(now, out)
+	if !p.Unpriced {
+		m.Charge(m.Model.RxBurst)
+		for _, b := range out[:n] {
+			m.Charge(m.Model.RxPkt + m.Model.DMAPerByteMilli*units.Cycles(b.Len())/1000)
+		}
+	}
+	return n
+}
+
+// TxBurst implements DevPort.
+func (p *PhysPort) TxBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int {
+	if !p.Unpriced && len(in) > 0 {
+		m.Charge(m.Model.TxBurst)
+	}
+	sent := 0
+	for _, b := range in {
+		if !p.Unpriced {
+			m.Charge(m.Model.TxPkt + m.Model.DMAPerByteMilli*units.Cycles(b.Len())/1000)
+		}
+		if p.Port.Send(now, b) {
+			sent++
+		} else {
+			b.Free()
+		}
+	}
+	return sent
+}
+
+// Pending implements DevPort.
+func (p *PhysPort) Pending(now units.Time) int { return p.Port.RxPending(now) }
+
+// VhostPort adapts the host side of a vhost-user device to DevPort. The
+// crossing costs (copy + descriptor handling) are charged by the vhost
+// device itself.
+type VhostPort struct {
+	Dev *vhost.Device
+}
+
+// Kind implements DevPort.
+func (p *VhostPort) Kind() PortKind { return VhostKind }
+
+// Name implements DevPort.
+func (p *VhostPort) Name() string { return p.Dev.Name() }
+
+// RxBurst implements DevPort.
+func (p *VhostPort) RxBurst(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
+	return p.Dev.HostDequeue(m, out)
+}
+
+// TxBurst implements DevPort.
+func (p *VhostPort) TxBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int {
+	sent := 0
+	for _, b := range in {
+		if p.Dev.HostEnqueue(now, m, b) {
+			sent++
+		} else {
+			b.Free()
+		}
+	}
+	return sent
+}
+
+// Pending implements DevPort.
+func (p *VhostPort) Pending(now units.Time) int { return p.Dev.HostPending() }
+
+// PtnetPort adapts the host side of a ptnet device to DevPort (zero-copy).
+type PtnetPort struct {
+	Dev *ptnet.Port
+}
+
+// Kind implements DevPort.
+func (p *PtnetPort) Kind() PortKind { return PtnetKind }
+
+// Name implements DevPort.
+func (p *PtnetPort) Name() string { return p.Dev.Name() }
+
+// RxBurst implements DevPort.
+func (p *PtnetPort) RxBurst(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
+	return p.Dev.HostRecv(m, out)
+}
+
+// TxBurst implements DevPort.
+func (p *PtnetPort) TxBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int {
+	sent := 0
+	for _, b := range in {
+		if p.Dev.HostSend(m, b) {
+			sent++
+		} else {
+			b.Free()
+		}
+	}
+	return sent
+}
+
+// Pending implements DevPort.
+func (p *PtnetPort) Pending(now units.Time) int { return p.Dev.HostPending() }

@@ -1,0 +1,30 @@
+package switchdef
+
+// Shard returns the rx-port subset for one core: the given explicit list,
+// or every index below n when the list is nil (the single-core case).
+func Shard(rxPorts []int, n int) []int {
+	if rxPorts != nil {
+		return rxPorts
+	}
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// ShardPorts splits n ports across k cores round-robin (RSS-style).
+func ShardPorts(n, k int) [][]int {
+	if k < 1 {
+		k = 1
+	}
+	out := make([][]int, k)
+	for i := range out {
+		// Non-nil even when empty: nil means "all ports" to PollShard.
+		out[i] = []int{}
+	}
+	for i := 0; i < n; i++ {
+		out[i%k] = append(out[i%k], i)
+	}
+	return out
+}

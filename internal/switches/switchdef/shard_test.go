@@ -1,0 +1,62 @@
+package switchdef
+
+import "testing"
+
+func TestShardNilMeansAll(t *testing.T) {
+	got := Shard(nil, 3)
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("shard = %v", got)
+	}
+	explicit := Shard([]int{5, 7}, 3)
+	if len(explicit) != 2 || explicit[0] != 5 {
+		t.Fatalf("explicit = %v", explicit)
+	}
+	// Crucially: an explicit empty shard stays empty (an idle core).
+	if got := Shard([]int{}, 3); len(got) != 0 {
+		t.Fatalf("empty shard expanded: %v", got)
+	}
+}
+
+func TestShardPortsRoundRobin(t *testing.T) {
+	shards := ShardPorts(5, 2)
+	if len(shards) != 2 {
+		t.Fatalf("shards = %v", shards)
+	}
+	if len(shards[0]) != 3 || len(shards[1]) != 2 {
+		t.Fatalf("shards = %v", shards)
+	}
+	if shards[0][0] != 0 || shards[0][1] != 2 || shards[1][0] != 1 {
+		t.Fatalf("shards = %v", shards)
+	}
+}
+
+func TestShardPortsMoreCoresThanPorts(t *testing.T) {
+	shards := ShardPorts(2, 4)
+	if len(shards) != 4 {
+		t.Fatalf("shards = %v", shards)
+	}
+	for i := 2; i < 4; i++ {
+		if shards[i] == nil {
+			t.Fatalf("shard %d is nil — would mean 'all ports' to PollShard", i)
+		}
+		if len(shards[i]) != 0 {
+			t.Fatalf("shard %d = %v", i, shards[i])
+		}
+	}
+}
+
+func TestShardPortsZeroCores(t *testing.T) {
+	shards := ShardPorts(3, 0)
+	if len(shards) != 1 || len(shards[0]) != 3 {
+		t.Fatalf("shards = %v", shards)
+	}
+}
+
+func TestPortKindString(t *testing.T) {
+	if PhysKind.String() != "phys" || VhostKind.String() != "vhost-user" || PtnetKind.String() != "ptnet" {
+		t.Fatal("kind names wrong")
+	}
+	if PortKind(9).String() == "" {
+		t.Fatal("unknown kind empty")
+	}
+}

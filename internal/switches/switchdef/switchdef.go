@@ -1,0 +1,187 @@
+// Package switchdef defines the System Under Test abstraction every
+// software switch implements, the device-port interface switches drive,
+// the design-space taxonomy metadata (the paper's Table 1/2/5), and a
+// registry the benchmark harness enumerates.
+package switchdef
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// PortMAC is the testbed-wide convention for addressing a switch port by
+// destination MAC: traffic whose eventual egress is SUT port i carries
+// dl_dst = PortMAC(i). Match/action switches without port-based forwarding
+// (t4p4s's l2fwd program) install their table entries against these
+// addresses, and the paper's corresponding requirement — "traffic
+// generators need to send packets with the corresponding destination MAC
+// addresses" — is honoured by the traffic generators.
+func PortMAC(i int) pkt.MAC {
+	return pkt.MAC{0x02, 0x00, 0x00, 0x00, byte(i >> 8), byte(i)}
+}
+
+// PortKind distinguishes the attachment types a switch sees.
+type PortKind int
+
+// Port kinds.
+const (
+	PhysKind  PortKind = iota // physical NIC port
+	VhostKind                 // vhost-user virtio device
+	PtnetKind                 // netmap passthrough device
+)
+
+// String names the kind.
+func (k PortKind) String() string {
+	switch k {
+	case PhysKind:
+		return "phys"
+	case VhostKind:
+		return "vhost-user"
+	case PtnetKind:
+		return "ptnet"
+	default:
+		return fmt.Sprintf("PortKind(%d)", int(k))
+	}
+}
+
+// DevPort is a device a switch data plane drives. RxBurst hands ownership
+// of the returned buffers to the switch; TxBurst takes ownership of every
+// buffer passed (frames that cannot be sent are freed and counted by the
+// device) and returns the number actually accepted.
+type DevPort interface {
+	Kind() PortKind
+	Name() string
+	RxBurst(now units.Time, m *cost.Meter, out []*pkt.Buf) int
+	TxBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int
+	// Pending reports the RX backlog, letting poll loops detect idleness.
+	Pending(now units.Time) int
+}
+
+// IOMode is how the switch's core consumes packet I/O.
+type IOMode int
+
+// I/O modes.
+const (
+	PollMode      IOMode = iota // DPDK-style busy waiting
+	InterruptMode               // netmap-style sleep + interrupt
+)
+
+// Info is the design-space taxonomy record for one switch (Table 1), plus
+// the use-case summary (Table 5) and tuning notes (Table 2).
+type Info struct {
+	Name    string // registry key, e.g. "vpp"
+	Display string // e.g. "VPP"
+	Version string // version or commit the model follows
+
+	SelfContained     bool   // vs. modular architecture
+	Paradigm          string // "structured" or "match/action"
+	ProcessingModel   string // "RTC", "pipeline", or "RTC/pipeline"
+	VirtualIface      string // "vhost-user" or "ptnet"
+	Reprogrammability string // "low", "medium", "high"
+	Languages         string
+	MainPurpose       string
+
+	BestAt  string // Table 5
+	Remarks string // Table 5
+	Tuning  string // Table 2 ("" if none)
+
+	IOMode IOMode
+	// MaxLoopbackVNFs caps loopback chain length (0 = unlimited). BESS's
+	// QEMU incompatibility caps it at 3 (paper §5.2 footnote 5).
+	MaxLoopbackVNFs int
+	// VhostCostScale scales virtio crossing costs for switches with
+	// their own vhost implementation (Snabb); 0 means 1.0.
+	VhostCostScale float64
+	// VhostEnqScale and VhostDeqScale override VhostCostScale per
+	// direction when non-zero (enqueue = host→guest delivery).
+	VhostEnqScale, VhostDeqScale float64
+	// RxRingOverride, when non-zero, resizes the NIC descriptor rings for
+	// this switch (FastClick's Table 2 tuning uses 4096).
+	RxRingOverride int
+}
+
+// Switch is a System Under Test: a software switch data plane that runs on
+// one simulated core.
+type Switch interface {
+	// Info returns the taxonomy record.
+	Info() Info
+	// AddPort attaches a device and returns its port index.
+	AddPort(p DevPort) int
+	// CrossConnect installs bidirectional L2 forwarding between two
+	// attached ports, through the switch's native configuration
+	// mechanism (flow rules, graph wiring, table entries, ...).
+	CrossConnect(a, b int) error
+	// Poll runs one scheduling quantum on the SUT core, charging
+	// consumed cycles to m and reporting whether any work was done.
+	Poll(now units.Time, m *cost.Meter) bool
+}
+
+// MultiCore is implemented by switches whose data plane can shard its
+// receive ports across several cores (the paper's "planned future work":
+// multi-core solutions). PollShard behaves like Poll restricted to the
+// given ingress ports; the testbed assigns port shards to cores RSS-style.
+type MultiCore interface {
+	PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool
+}
+
+// Env is what a switch factory needs from the testbed.
+type Env struct {
+	Model *cost.Model
+	RNG   *sim.RNG
+	Pool  *pkt.Pool // host mbuf pool
+}
+
+// Factory builds a fresh switch instance.
+type Factory func(Env) Switch
+
+type registration struct {
+	info    Info
+	factory Factory
+}
+
+var registry = map[string]registration{}
+
+// Register records a switch implementation under info.Name. It panics on
+// duplicates (registration happens in package init).
+func Register(info Info, f Factory) {
+	if info.Name == "" {
+		panic("switchdef: empty name")
+	}
+	if _, dup := registry[info.Name]; dup {
+		panic("switchdef: duplicate registration: " + info.Name)
+	}
+	registry[info.Name] = registration{info: info, factory: f}
+}
+
+// Names returns the registered switch names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the taxonomy record for a registered switch.
+func Lookup(name string) (Info, error) {
+	r, ok := registry[name]
+	if !ok {
+		return Info{}, fmt.Errorf("switchdef: unknown switch %q (have %v)", name, Names())
+	}
+	return r.info, nil
+}
+
+// New instantiates a registered switch.
+func New(name string, env Env) (Switch, error) {
+	r, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("switchdef: unknown switch %q (have %v)", name, Names())
+	}
+	return r.factory(env), nil
+}

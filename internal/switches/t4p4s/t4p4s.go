@@ -1,0 +1,345 @@
+// Package t4p4s models t4p4s (commit b1161b2): a platform-independent P4
+// software switch whose compiler turns P4 programs into a DPDK data plane.
+//
+// The pipeline is the real P4 shape: a programmable header parser, a
+// sequence of match/action tables (exact or LPM keys over parsed fields),
+// and a deparser that serializes modified headers back into the frame.
+// The packaged program is the paper's l2fwd: one exact table keyed on the
+// destination MAC whose action forwards to a port (Table 2's tuning —
+// "remove source MAC learning phase" — is why no smac table is installed).
+//
+// Two t4p4s findings from the paper are in the cost model: every packet
+// pays the parse/deparse + hardware-abstraction-layer tax (it never
+// saturates 64B line rate), and the pipeline's high cost variance produces
+// the paper's extreme 0.99·R⁺ latencies (Table 3).
+package t4p4s
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// Burst is the DPDK RX burst size.
+const Burst = 32
+
+// Cost constants, calibrated to land p2p 64B at ≈ 116 ns/packet (Fig. 4a:
+// ≈5.6 Gbps unidirectional) with heavy per-burst jitter.
+const (
+	parseFixed       = 70   // header parsing state machine
+	deparseFixed     = 27   // header re-serialization
+	tablePerLookup   = 31   // beyond the hash probe
+	halPerPkt        = 27   // hardware abstraction layer indirection
+	pipePerByteMilli = 615  // 0.9 cycles/B parse/deparse byte handling
+	jitterFrac       = 0.25 // unstable pipeline (paper Table 3)
+)
+
+// FieldID selects a parsed header field usable as a table key.
+type FieldID int
+
+// Supported key fields.
+const (
+	FieldEthDst FieldID = iota
+	FieldEthSrc
+	FieldEthType
+	FieldIPSrc
+	FieldIPDst
+	FieldIPProto
+	FieldL4Src
+	FieldL4Dst
+)
+
+// parsedHeaders is the result of the parser stage.
+type parsedHeaders struct {
+	eth     pkt.EthHdr
+	ip      pkt.IPv4Hdr
+	udp     pkt.UDPHdr
+	hasIP   bool
+	hasL4   bool
+	ethDirt bool // headers modified; deparser must write back
+}
+
+func (h *parsedHeaders) field(f FieldID) []byte {
+	switch f {
+	case FieldEthDst:
+		return h.eth.Dst[:]
+	case FieldEthSrc:
+		return h.eth.Src[:]
+	case FieldEthType:
+		var b [2]byte
+		binary.BigEndian.PutUint16(b[:], h.eth.EtherType)
+		return b[:]
+	case FieldIPSrc:
+		return h.ip.Src[:]
+	case FieldIPDst:
+		return h.ip.Dst[:]
+	case FieldIPProto:
+		return []byte{h.ip.Proto}
+	case FieldL4Src:
+		var b [2]byte
+		binary.BigEndian.PutUint16(b[:], h.udp.SrcPort)
+		return b[:]
+	case FieldL4Dst:
+		var b [2]byte
+		binary.BigEndian.PutUint16(b[:], h.udp.DstPort)
+		return b[:]
+	}
+	panic("t4p4s: unknown field")
+}
+
+// ActionID selects a table action.
+type ActionID int
+
+// Supported actions.
+const (
+	ActForward ActionID = iota // send to Port
+	ActDrop
+	ActSetDstMAC // rewrite dl_dst to MAC, then continue
+	ActNoAction  // P4 NoAction: continue to the next table
+)
+
+// Entry is a table entry's action data.
+type Entry struct {
+	Action ActionID
+	Port   int
+	MAC    pkt.MAC
+}
+
+// Table is one match/action table (exact by default; see SetKind for LPM
+// and ternary).
+type Table struct {
+	Name    string
+	Key     []FieldID
+	kind    MatchKind
+	entries map[string]Entry
+	lpm     []lpmEntry
+	tern    []ternEntry
+	Default Entry
+
+	Hits, Misses int64
+}
+
+// NewTable creates an exact-match table with a default (miss) entry.
+func NewTable(name string, key []FieldID, def Entry) *Table {
+	return &Table{Name: name, Key: key, entries: map[string]Entry{}, Default: def}
+}
+
+func (t *Table) keyOf(h *parsedHeaders) string {
+	var k []byte
+	for _, f := range t.Key {
+		k = append(k, h.field(f)...)
+	}
+	return string(k)
+}
+
+// Add installs an entry keyed by the concatenated field values.
+func (t *Table) Add(keyBytes []byte, e Entry) {
+	t.entries[string(keyBytes)] = e
+}
+
+// Switch is a t4p4s instance running a compiled P4 program.
+type Switch struct {
+	env    switchdef.Env
+	ports  []switchdef.DevPort
+	tables []*Table
+
+	txStage [][]*pkt.Buf
+	txFirst []units.Time
+
+	// Forwarded and Dropped count data-plane outcomes.
+	Forwarded, Dropped int64
+}
+
+// The t4p4s HAL buffers transmissions aggressively: frames leave when a
+// large batch completes or the drain timer fires. This is the source of its
+// ≈30 µs p2p latency floor at low and medium load (Table 3).
+const (
+	txFlushBatch = 256
+	txFlushDrain = 56 * units.Microsecond
+)
+
+// pipeMod models the pipeline's instability (the paper's Table 3: by far
+// the worst 0.99·R⁺ latencies): recurring phases of degraded efficiency
+// that outlast the recovery headroom, so near-saturation runs congest.
+var pipeMod = cost.Modulation{
+	HighFactor: 1.18, HighDur: 1200 * units.Microsecond,
+	LowFactor: 0.96, LowDur: 800 * units.Microsecond,
+}
+
+var info = switchdef.Info{
+	Name:              "t4p4s",
+	Display:           "t4p4s",
+	Version:           "b1161b2",
+	SelfContained:     true,
+	Paradigm:          "match/action",
+	ProcessingModel:   "RTC",
+	VirtualIface:      "vhost-user",
+	Reprogrammability: "medium",
+	Languages:         "C, Python",
+	MainPurpose:       "P4 switch",
+	BestAt:            "Stateful SDN deployments",
+	Remarks:           "Supports P4 language",
+	Tuning:            "Remove source MAC learning phase",
+	IOMode:            switchdef.PollMode,
+	RxRingOverride:    2048,
+}
+
+// New returns a t4p4s instance loaded with the l2fwd program (an empty
+// dmac table; entries are installed by CrossConnect or AddL2Entry).
+func New(env switchdef.Env) *Switch {
+	sw := &Switch{env: env}
+	sw.tables = append(sw.tables, NewTable("dmac", []FieldID{FieldEthDst}, Entry{Action: ActDrop}))
+	return sw
+}
+
+// Info implements switchdef.Switch.
+func (sw *Switch) Info() switchdef.Info { return info }
+
+// AddPort implements switchdef.Switch.
+func (sw *Switch) AddPort(p switchdef.DevPort) int {
+	sw.ports = append(sw.ports, p)
+	sw.txStage = append(sw.txStage, nil)
+	sw.txFirst = append(sw.txFirst, 0)
+	return len(sw.ports) - 1
+}
+
+func shard(rxPorts []int, n int) []int { return switchdef.Shard(rxPorts, n) }
+
+// Tables returns the program's tables.
+func (sw *Switch) Tables() []*Table { return sw.tables }
+
+// AddL2Entry installs dmac → forward(port).
+func (sw *Switch) AddL2Entry(mac pkt.MAC, port int) error {
+	if port < 0 || port >= len(sw.ports) {
+		return fmt.Errorf("t4p4s: no port %d", port)
+	}
+	sw.tables[0].Add(mac[:], Entry{Action: ActForward, Port: port})
+	return nil
+}
+
+// CrossConnect implements switchdef.Switch: per the paper, the l2fwd flow
+// table is populated with "destination MAC address → output port" entries
+// using the testbed's PortMAC convention.
+func (sw *Switch) CrossConnect(a, b int) error {
+	if err := sw.AddL2Entry(switchdef.PortMAC(b), b); err != nil {
+		return err
+	}
+	return sw.AddL2Entry(switchdef.PortMAC(a), a)
+}
+
+// Poll implements switchdef.Switch.
+func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
+	return sw.PollShard(now, m, nil)
+}
+
+// PollShard implements switchdef.MultiCore (one lcore's ports).
+func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
+	var burst [Burst]*pkt.Buf
+	did := false
+	for _, i := range shard(rxPorts, len(sw.ports)) {
+		p := sw.ports[i]
+		n := p.RxBurst(now, m, burst[:])
+		if n == 0 {
+			continue
+		}
+		did = true
+		if p.Kind() == switchdef.VhostKind {
+			// t4p4s needed offloads disabled to work with
+			// vhost-user at all (paper appendix A.2); the crossing
+			// costs it extra.
+			m.Charge(units.Cycles(n) * 118)
+		}
+		for _, b := range burst[:n] {
+			sw.process(now, m, i, b)
+		}
+	}
+	for _, i := range shard(rxPorts, len(sw.ports)) {
+		stage := sw.txStage[i]
+		if len(stage) == 0 {
+			continue
+		}
+		if len(stage) < txFlushBatch && now-sw.txFirst[i] < txFlushDrain {
+			continue
+		}
+		did = true
+		if sw.ports[i].Kind() == switchdef.VhostKind {
+			// The disabled-offload vhost path costs on TX too.
+			m.Charge(units.Cycles(len(stage)) * 30)
+		}
+		sent := sw.ports[i].TxBurst(now, m, stage)
+		sw.Forwarded += int64(sent)
+		sw.Dropped += int64(len(stage) - sent)
+		sw.txStage[i] = stage[:0]
+	}
+	return did
+}
+
+func (sw *Switch) process(now units.Time, m *cost.Meter, inPort int, b *pkt.Buf) {
+	// Parser.
+	data := b.Bytes()
+	var h parsedHeaders
+	var err error
+	h.eth, err = pkt.ParseEth(data)
+	perByte := pipePerByteMilli * units.Cycles(b.Len()) / 1000
+	m.ChargeNoisy(pipeMod.Scale(now, parseFixed+halPerPkt+perByte), jitterFrac)
+	if err != nil {
+		b.Free()
+		sw.Dropped++
+		return
+	}
+	if h.eth.EtherType == pkt.EtherTypeIPv4 && len(data) >= pkt.EthHdrLen+pkt.IPv4HdrLen {
+		if ip, e := pkt.ParseIPv4(data[pkt.EthHdrLen:]); e == nil {
+			h.ip, h.hasIP = ip, true
+			if ip.Proto == pkt.ProtoUDP {
+				if udp, e := pkt.ParseUDP(data[pkt.EthHdrLen+pkt.IPv4HdrLen:]); e == nil {
+					h.udp, h.hasL4 = udp, true
+				}
+			}
+		}
+	}
+
+	// Match/action stages.
+	out := -1
+	for _, t := range sw.tables {
+		m.Charge(m.Model.HashLookup + tablePerLookup)
+		e := t.lookup([]byte(t.keyOf(&h)))
+		switch e.Action {
+		case ActDrop:
+			b.Free()
+			sw.Dropped++
+			return
+		case ActForward:
+			out = e.Port
+		case ActSetDstMAC:
+			h.eth.Dst = e.MAC
+			h.ethDirt = true
+			if e.Port >= 0 {
+				out = e.Port
+			}
+		case ActNoAction:
+		}
+	}
+
+	// Deparser.
+	m.ChargeNoisy(deparseFixed, jitterFrac)
+	if h.ethDirt {
+		h.eth.Put(data)
+	}
+	if out < 0 || out >= len(sw.ports) {
+		b.Free()
+		sw.Dropped++
+		return
+	}
+	if len(sw.txStage[out]) == 0 {
+		sw.txFirst[out] = now
+	}
+	sw.txStage[out] = append(sw.txStage[out], b)
+}
+
+func init() {
+	switchdef.Register(info, func(env switchdef.Env) switchdef.Switch { return New(env) })
+}

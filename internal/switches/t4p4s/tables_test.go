@@ -1,0 +1,219 @@
+package t4p4s
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/switches/switchdef"
+	"repro/internal/switches/switchtest"
+)
+
+func TestLPMTableLongestPrefixWins(t *testing.T) {
+	tb := NewTable("l3", []FieldID{FieldIPDst}, Entry{Action: ActDrop}).SetKind(MatchLPM)
+	if err := tb.AddLPM([]byte{10, 0, 0, 0}, 8, Entry{Action: ActForward, Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AddLPM([]byte{10, 1, 0, 0}, 16, Entry{Action: ActForward, Port: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.lookup([]byte{10, 1, 9, 9}); got.Port != 2 {
+		t.Fatalf("lookup = %+v", got)
+	}
+	if got := tb.lookup([]byte{10, 9, 9, 9}); got.Port != 1 {
+		t.Fatalf("lookup = %+v", got)
+	}
+	if got := tb.lookup([]byte{11, 0, 0, 1}); got.Action != ActDrop {
+		t.Fatalf("miss = %+v", got)
+	}
+	if tb.Hits != 2 || tb.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", tb.Hits, tb.Misses)
+	}
+}
+
+func TestTernaryPriority(t *testing.T) {
+	tb := NewTable("acl", []FieldID{FieldL4Dst}, Entry{Action: ActDrop}).SetKind(MatchTernary)
+	// Low priority: any port in 0x0050-0x005f → forward 1.
+	if err := tb.AddTernary([]byte{0x00, 0x50}, []byte{0xff, 0xf0}, 1, Entry{Action: ActForward, Port: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// High priority: exactly 0x0051 → forward 2.
+	if err := tb.AddTernary([]byte{0x00, 0x51}, []byte{0xff, 0xff}, 10, Entry{Action: ActForward, Port: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.lookup([]byte{0x00, 0x52}); got.Port != 1 {
+		t.Fatalf("range entry = %+v", got)
+	}
+	if got := tb.lookup([]byte{0x00, 0x51}); got.Port != 2 {
+		t.Fatalf("priority entry = %+v", got)
+	}
+}
+
+func TestTableKindEnforcement(t *testing.T) {
+	exact := NewTable("x", []FieldID{FieldIPDst}, Entry{})
+	if err := exact.AddLPM([]byte{1, 2, 3, 4}, 8, Entry{}); err == nil {
+		t.Fatal("LPM insert into exact table accepted")
+	}
+	lpm := NewTable("y", []FieldID{FieldIPDst}, Entry{}).SetKind(MatchLPM)
+	if err := lpm.AddTernary([]byte{1}, []byte{1}, 0, Entry{}); err == nil {
+		t.Fatal("ternary insert into lpm table accepted")
+	}
+	if err := lpm.AddLPM([]byte{1, 2, 3, 4}, 99, Entry{}); err == nil {
+		t.Fatal("bad plen accepted")
+	}
+}
+
+// Property: the LPM table agrees with brute force over random prefixes.
+func TestPropertyLPMMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		tb := NewTable("l3", []FieldID{FieldIPDst}, Entry{Port: -1}).SetKind(MatchLPM)
+		type route struct {
+			addr uint32
+			plen int
+			port int
+		}
+		var routes []route
+		for i := 0; i < 25; i++ {
+			plen := rng.Intn(33)
+			addr := uint32(rng.Uint64())
+			var kb [4]byte
+			binary.BigEndian.PutUint32(kb[:], addr)
+			maskBits(kb[:], plen)
+			masked := binary.BigEndian.Uint32(kb[:])
+			// Skip duplicate (addr,plen): table keeps both but brute
+			// force would need tie-breaks.
+			dup := false
+			for _, r := range routes {
+				if r.addr == masked && r.plen == plen {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			if err := tb.AddLPM(kb[:], plen, Entry{Action: ActForward, Port: i}); err != nil {
+				return false
+			}
+			routes = append(routes, route{masked, plen, i})
+		}
+		for i := 0; i < 100; i++ {
+			a := uint32(rng.Uint64())
+			var key [4]byte
+			binary.BigEndian.PutUint32(key[:], a)
+			want, wantLen := -1, -1
+			for _, r := range routes {
+				var kb [4]byte
+				binary.BigEndian.PutUint32(kb[:], a)
+				maskBits(kb[:], r.plen)
+				if binary.BigEndian.Uint32(kb[:]) == r.addr && r.plen > wantLen {
+					want, wantLen = r.port, r.plen
+				}
+			}
+			if got := tb.lookup(key[:]); got.Port != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const l3Program = `
+# An l3fwd-style program: LPM routing with MAC rewrite, plus an ACL.
+table acl ternary l4.dst
+entry acl 0x1000/0xf000 5 drop
+table lpm4 lpm ip.dst
+entry lpm4 10.1.0.0/16 setdmac 02:00:00:00:00:11 forward 1
+entry lpm4 10.0.0.0/8 setdmac 02:00:00:00:00:22 forward 2
+default lpm4 drop
+`
+
+func TestLoadProgramAndRun(t *testing.T) {
+	env := switchtest.Env()
+	sw := New(env)
+	fps := make([]*switchtest.FakePort, 3)
+	for i := range fps {
+		fps[i] = switchtest.NewFakePort("p")
+		sw.AddPort(fps[i])
+	}
+	if err := sw.LoadProgram(l3Program); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Tables()) != 2 {
+		t.Fatalf("tables = %d", len(sw.Tables()))
+	}
+	mk := func(dst [4]byte, l4dst uint16) *pkt.Buf {
+		b := env.Pool.Get(64)
+		pkt.FrameSpec{
+			SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+			SrcIP: [4]byte{192, 168, 0, 1}, DstIP: dst,
+			SrcPort: 1000, DstPort: l4dst, FrameLen: 64,
+		}.Build(b)
+		return b
+	}
+	fps[0].In = append(fps[0].In,
+		mk([4]byte{10, 1, 2, 3}, 80),     // → port 1, rewritten
+		mk([4]byte{10, 2, 2, 3}, 80),     // → port 2
+		mk([4]byte{10, 1, 2, 3}, 0x1234), // ACL drop
+		mk([4]byte{172, 16, 0, 1}, 80),   // LPM miss → drop
+	)
+	drain(sw, env)
+	if len(fps[1].Out) != 1 || len(fps[2].Out) != 1 {
+		t.Fatalf("out = %d, %d", len(fps[1].Out), len(fps[2].Out))
+	}
+	if sw.Dropped != 2 {
+		t.Fatalf("dropped = %d", sw.Dropped)
+	}
+	wantMAC, _ := pkt.ParseMAC("02:00:00:00:00:11")
+	if pkt.EthDst(fps[1].Out[0].Bytes()) != wantMAC {
+		t.Fatal("setdmac not applied through deparser")
+	}
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	env := switchtest.Env()
+	sw := New(env)
+	sw.AddPort(switchtest.NewFakePort("p"))
+	for _, bad := range []string{
+		"",
+		"table x wat eth.dst",
+		"table x exact nosuch.field",
+		"table x exact eth.dst\ntable x exact eth.dst",
+		"entry ghost 02:00:00:00:00:01 drop",
+		"table x exact eth.dst\nentry x 02:00:00:00:00:01 forward 9",
+		"table x lpm ip.dst\nentry x 10.0.0.0 forward 0",
+		"table x ternary l4.dst\nentry x 0x10/0xff drop", // missing priority
+		"default ghost drop",
+		"bogus directive here",
+	} {
+		if err := sw.LoadProgram(bad); err == nil {
+			t.Errorf("LoadProgram(%q) accepted", bad)
+		}
+	}
+}
+
+func TestProgramOnTestbedPorts(t *testing.T) {
+	// The program's l2fwd equivalent via LoadProgram must behave exactly
+	// like CrossConnect's implicit program.
+	env := switchtest.Env()
+	sw := New(env)
+	in, out := switchtest.NewFakePort("in"), switchtest.NewFakePort("out")
+	sw.AddPort(in)
+	sw.AddPort(out)
+	prog := "table dmac exact eth.dst\n" +
+		"entry dmac " + switchdef.PortMAC(1).String() + " forward 1\n" +
+		"entry dmac " + switchdef.PortMAC(0).String() + " forward 0\n"
+	if err := sw.LoadProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	in.In = append(in.In, switchtest.Frame(env.Pool, switchdef.PortMAC(0), switchdef.PortMAC(1), 64))
+	drain(sw, env)
+	if len(out.Out) != 1 {
+		t.Fatalf("out = %d", len(out.Out))
+	}
+}

@@ -1,0 +1,258 @@
+package vpp
+
+import (
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/switches/switchtest"
+	"repro/internal/units"
+)
+
+func ip(a, b, c, d byte) [4]byte { return [4]byte{a, b, c, d} }
+
+func TestMtrieBasicLPM(t *testing.T) {
+	m := NewMtrie()
+	if err := m.Insert(ip(10, 0, 0, 0), 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(ip(10, 1, 0, 0), 16, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(ip(10, 1, 2, 0), 24, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(ip(10, 1, 2, 3), 32, 4); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[[4]byte]Leaf{
+		ip(10, 9, 9, 9):  1,
+		ip(10, 1, 9, 9):  2,
+		ip(10, 1, 2, 9):  3,
+		ip(10, 1, 2, 3):  4,
+		ip(11, 0, 0, 0):  0,
+		ip(9, 255, 0, 0): 0,
+	}
+	for addr, want := range cases {
+		if got := m.Lookup(addr); got != want {
+			t.Errorf("Lookup(%v) = %d, want %d", addr, got, want)
+		}
+	}
+	if m.Routes() != 4 {
+		t.Fatalf("routes = %d", m.Routes())
+	}
+}
+
+func TestMtrieDefaultRoute(t *testing.T) {
+	m := NewMtrie()
+	if err := m.Insert(ip(0, 0, 0, 0), 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Insert(ip(192, 168, 0, 0), 16, 8); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Lookup(ip(8, 8, 8, 8)); got != 7 {
+		t.Fatalf("default = %d", got)
+	}
+	if got := m.Lookup(ip(192, 168, 1, 1)); got != 8 {
+		t.Fatalf("specific = %d", got)
+	}
+}
+
+func TestMtrieInsertOrderIndependent(t *testing.T) {
+	// Installing the covering /8 after the /24 must not clobber it.
+	m := NewMtrie()
+	_ = m.Insert(ip(10, 1, 2, 0), 24, 3)
+	_ = m.Insert(ip(10, 0, 0, 0), 8, 1)
+	if got := m.Lookup(ip(10, 1, 2, 9)); got != 3 {
+		t.Fatalf("later short prefix clobbered /24: %d", got)
+	}
+	if got := m.Lookup(ip(10, 9, 9, 9)); got != 1 {
+		t.Fatalf("/8 missing: %d", got)
+	}
+}
+
+func TestMtrieErrors(t *testing.T) {
+	m := NewMtrie()
+	if err := m.Insert(ip(1, 2, 3, 4), 33, 1); err == nil {
+		t.Fatal("plen 33 accepted")
+	}
+	if err := m.Insert(ip(1, 2, 3, 4), 8, 0); err == nil {
+		t.Fatal("leaf 0 accepted")
+	}
+}
+
+// naiveLPM is the reference model for the property test.
+type naiveRoute struct {
+	addr uint32
+	plen int
+	leaf Leaf
+}
+
+func naiveLookup(routes []naiveRoute, addr uint32) Leaf {
+	best, bestLen := Leaf(0), -1
+	for _, r := range routes {
+		if addr&mask32(r.plen) == r.addr && r.plen > bestLen {
+			best, bestLen = r.leaf, r.plen
+		}
+	}
+	return best
+}
+
+// TestPropertyMtrieMatchesNaiveLPM inserts random route sets and checks the
+// mtrie agrees with a brute-force longest-prefix match on random addresses.
+func TestPropertyMtrieMatchesNaiveLPM(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := sim.NewRNG(seed)
+		m := NewMtrie()
+		var routes []naiveRoute
+		for i := 0; i < 40; i++ {
+			plen := rng.Intn(33)
+			addr := uint32(rng.Uint64()) & mask32(plen)
+			leaf := Leaf(i + 1)
+			var p [4]byte
+			binary.BigEndian.PutUint32(p[:], addr)
+			if err := m.Insert(p, plen, leaf); err != nil {
+				return false
+			}
+			// The naive model keeps last-insert-wins for identical
+			// (addr, plen); mirror by removing duplicates.
+			for j := range routes {
+				if routes[j].addr == addr && routes[j].plen == plen {
+					routes = append(routes[:j], routes[j+1:]...)
+					break
+				}
+			}
+			routes = append(routes, naiveRoute{addr, plen, leaf})
+		}
+		for i := 0; i < 200; i++ {
+			a := uint32(rng.Uint64())
+			var addr [4]byte
+			binary.BigEndian.PutUint32(addr[:], a)
+			if m.Lookup(addr) != naiveLookup(routes, a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCIDR(t *testing.T) {
+	p, plen, err := ParseCIDR("10.1.0.0/16")
+	if err != nil || p != ip(10, 1, 0, 0) || plen != 16 {
+		t.Fatalf("got %v/%d, %v", p, plen, err)
+	}
+	for _, bad := range []string{"10.1.0.0", "10.1.0/16", "10.1.0.0/33", "a.b.c.d/8", "300.0.0.0/8"} {
+		if _, _, err := ParseCIDR(bad); err == nil {
+			t.Errorf("ParseCIDR(%q) accepted", bad)
+		}
+	}
+}
+
+func TestIP4PathRoutesAndRewrites(t *testing.T) {
+	sw, fps, env := newSUT(t, 3)
+	if err := sw.CLI("set interface ip port0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.CLI("ip route add 10.1.0.0/16 via port1 02:00:00:00:00:11"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.CLI("ip route add 10.2.0.0/16 via port2 02:00:00:00:00:22"); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	mk := func(dst [4]byte) *pkt.Buf {
+		b := env.Pool.Get(64)
+		pkt.FrameSpec{
+			SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 0xfe},
+			SrcIP: ip(192, 168, 0, 1), DstIP: dst,
+			SrcPort: 1, DstPort: 2, FrameLen: 64,
+		}.Build(b)
+		return b
+	}
+	fps[0].In = append(fps[0].In, mk(ip(10, 1, 5, 5)), mk(ip(10, 2, 5, 5)), mk(ip(172, 16, 0, 1)))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 || len(fps[2].Out) != 1 {
+		t.Fatalf("routed = %d, %d", len(fps[1].Out), len(fps[2].Out))
+	}
+	// No route for 172.16/12: dropped.
+	if sw.Dropped != 1 {
+		t.Fatalf("dropped = %d", sw.Dropped)
+	}
+	// Rewrite semantics: next-hop MAC, decremented TTL, valid checksum.
+	out := fps[1].Out[0].Bytes()
+	wantMAC, _ := pkt.ParseMAC("02:00:00:00:00:11")
+	if pkt.EthDst(out) != wantMAC {
+		t.Fatal("next-hop MAC not written")
+	}
+	iph, err := pkt.ParseIPv4(out[pkt.EthHdrLen:])
+	if err != nil {
+		t.Fatalf("rewritten header invalid: %v", err)
+	}
+	if iph.TTL != 63 {
+		t.Fatalf("TTL = %d, want 63", iph.TTL)
+	}
+}
+
+func TestIP4TTLExpiryDrops(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	_ = sw.CLI("set interface ip port0")
+	_ = sw.CLI("ip route add 0.0.0.0/0 via port1 02:00:00:00:00:11")
+	b := env.Pool.Get(64)
+	pkt.FrameSpec{
+		SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: ip(1, 1, 1, 1), DstIP: ip(2, 2, 2, 2),
+		SrcPort: 1, DstPort: 2, FrameLen: 64,
+	}.Build(b)
+	// Force TTL 1 and fix the checksum.
+	iph, _ := pkt.ParseIPv4(b.Bytes()[pkt.EthHdrLen:])
+	iph.TTL = 1
+	iph.Put(b.Bytes()[pkt.EthHdrLen:])
+	fps[0].In = append(fps[0].In, b)
+	m := switchtest.Meter(env)
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 0 || sw.Dropped != 1 {
+		t.Fatalf("TTL-1 frame forwarded (out=%d dropped=%d)", len(fps[1].Out), sw.Dropped)
+	}
+}
+
+func TestIP4RouteCLIErrors(t *testing.T) {
+	sw, _, _ := newSUT(t, 1)
+	for _, cmd := range []string{
+		"ip route add 10.0.0.0/8 via port9 02:00:00:00:00:11",
+		"ip route add bogus via port0 02:00:00:00:00:11",
+		"ip route add 10.0.0.0/8 via port0 zz",
+		"set interface ip portx",
+	} {
+		if err := sw.CLI(cmd); err == nil {
+			t.Errorf("CLI(%q) accepted", cmd)
+		}
+	}
+}
+
+func BenchmarkMtrieLookup(b *testing.B) {
+	m := NewMtrie()
+	rng := sim.NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		plen := 8 + rng.Intn(25)
+		addr := uint32(rng.Uint64()) & mask32(plen)
+		var p [4]byte
+		binary.BigEndian.PutUint32(p[:], addr)
+		_ = m.Insert(p, plen, Leaf(i+1))
+	}
+	addrs := make([][4]byte, 1024)
+	for i := range addrs {
+		binary.BigEndian.PutUint32(addrs[i][:], uint32(rng.Uint64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Lookup(addrs[i&1023])
+	}
+}
+
+var _ = units.Time(0)

@@ -1,0 +1,171 @@
+package vpp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/units"
+)
+
+// The L3 data path: ip4-input → ip4-lookup → ip4-rewrite. Routes are
+// installed with:
+//
+//	ip route add 10.1.0.0/16 via port1 02:00:00:00:00:02
+//
+// and interfaces opt into L3 with "set interface ip port0". The FIB is the
+// mtrie in fib.go; adjacencies rewrite the Ethernet header (new dst MAC,
+// port MAC as src) and decrement the TTL, recomputing the IPv4 checksum —
+// a faithful miniature of VPP's ip4-rewrite.
+
+// adjacency is one next hop.
+type adjacency struct {
+	port   int
+	nhMAC  pkt.MAC
+	srcMAC pkt.MAC
+}
+
+// ip4State hangs the L3 configuration off the Switch.
+type ip4State struct {
+	enabled map[int]bool
+	fib     *Mtrie
+	adjs    []adjacency // index+1 == Leaf
+}
+
+func (sw *Switch) ip4() *ip4State {
+	if sw.l3 == nil {
+		sw.l3 = &ip4State{enabled: map[int]bool{}, fib: NewMtrie()}
+	}
+	return sw.l3
+}
+
+// EnableIP4 puts a port into L3 mode (its RX feeds ip4-input).
+func (sw *Switch) EnableIP4(port int) error {
+	if err := sw.checkPort(port); err != nil {
+		return err
+	}
+	sw.ip4().enabled[port] = true
+	return nil
+}
+
+// AddRoute installs prefix → (egress port, next-hop MAC).
+func (sw *Switch) AddRoute(cidr string, port int, nhMAC pkt.MAC) error {
+	if err := sw.checkPort(port); err != nil {
+		return err
+	}
+	prefix, plen, err := ParseCIDR(cidr)
+	if err != nil {
+		return err
+	}
+	l3 := sw.ip4()
+	l3.adjs = append(l3.adjs, adjacency{
+		port:   port,
+		nhMAC:  nhMAC,
+		srcMAC: pkt.MAC{0x02, 0x00, 0x5e, 0x00, 0x00, byte(port)},
+	})
+	return l3.fib.Insert(prefix, plen, Leaf(len(l3.adjs)))
+}
+
+// FIB exposes the mtrie (tests, examples).
+func (sw *Switch) FIB() *Mtrie { return sw.ip4().fib }
+
+// ipCLI handles the "ip route add" and "set interface ip" commands; it is
+// called from CLI for commands it does not itself recognize.
+func (sw *Switch) ipCLI(f []string) error {
+	switch {
+	case len(f) == 7 && f[0] == "ip" && f[1] == "route" && f[2] == "add" && f[4] == "via" && strings.HasPrefix(f[5], "port"):
+		port, err := strconv.Atoi(strings.TrimPrefix(f[5], "port"))
+		if err != nil {
+			return fmt.Errorf("vpp: bad port %q", f[5])
+		}
+		mac, err := pkt.ParseMAC(f[6])
+		if err != nil {
+			return err
+		}
+		return sw.AddRoute(f[3], port, mac)
+	case len(f) == 4 && f[0] == "set" && f[1] == "interface" && f[2] == "ip":
+		var p int
+		if _, err := fmt.Sscanf(f[3], "port%d", &p); err != nil {
+			return fmt.Errorf("vpp: bad port %q", f[3])
+		}
+		return sw.EnableIP4(p)
+	}
+	return fmt.Errorf("vpp: unknown command %q", strings.Join(f, " "))
+}
+
+// L3 node costs.
+const (
+	ip4InputPerPkt   = 24 // sanity checks, TTL test
+	ip4LookupPerPkt  = 20 // beyond the mtrie loads (modelled as HashLookup)
+	ip4RewritePerPkt = 30 // MAC rewrite + checksum update
+)
+
+type ip4InputNode struct{}
+
+func (ip4InputNode) Name() string { return "ip4-input" }
+func (ip4InputNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
+	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*ip4InputPerPkt, costJitterFrac)
+	keep := v[:0]
+	for _, b := range v {
+		data := b.Bytes()
+		if len(data) < pkt.EthHdrLen+pkt.IPv4HdrLen {
+			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			continue
+		}
+		eth, err := pkt.ParseEth(data)
+		if err != nil || eth.EtherType != pkt.EtherTypeIPv4 {
+			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			continue
+		}
+		ip, err := pkt.ParseIPv4(data[pkt.EthHdrLen:])
+		if err != nil || ip.TTL <= 1 {
+			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			continue
+		}
+		keep = append(keep, b)
+	}
+	if len(keep) > 0 {
+		sw.enqueue("ip4-lookup", ctx, keep)
+	}
+}
+
+type ip4LookupNode struct{}
+
+func (ip4LookupNode) Name() string { return "ip4-lookup" }
+func (ip4LookupNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
+	m.Charge(nodeFixed + units.Cycles(len(v))*(m.Model.HashLookup+ip4LookupPerPkt))
+	l3 := sw.ip4()
+	for _, b := range v {
+		ip, _ := pkt.ParseIPv4(b.Bytes()[pkt.EthHdrLen:])
+		leaf := l3.fib.Lookup(ip.Dst)
+		if leaf == 0 {
+			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			continue
+		}
+		sw.enqueue("ip4-rewrite", int(leaf-1), []*pkt.Buf{b})
+	}
+}
+
+type ip4RewriteNode struct{}
+
+func (ip4RewriteNode) Name() string { return "ip4-rewrite" }
+func (ip4RewriteNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
+	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*ip4RewritePerPkt, costJitterFrac)
+	l3 := sw.ip4()
+	if ctx < 0 || ctx >= len(l3.adjs) {
+		sw.enqueue("error-drop", 0, v)
+		return
+	}
+	adj := l3.adjs[ctx]
+	for _, b := range v {
+		data := b.Bytes()
+		pkt.SetEthDst(data, adj.nhMAC)
+		pkt.SetEthSrc(data, adj.srcMAC)
+		ip, _ := pkt.ParseIPv4(data[pkt.EthHdrLen:])
+		ip.TTL--
+		ip.Put(data[pkt.EthHdrLen:]) // re-serialize with fresh checksum
+	}
+	sw.enqueue("interface-output", adj.port, v)
+}

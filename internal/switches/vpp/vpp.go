@@ -1,0 +1,355 @@
+// Package vpp models FD.io VPP 19.04: a self-contained software router that
+// processes packets in vectors through a forwarding graph.
+//
+// The data plane here is a real graph: dpdk-input pulls bursts from the
+// attached devices and hands per-port vectors to either the l2-patch node
+// (the paper's p2p/p2v/v2v configuration: "test l2patch rx port0 tx port1")
+// or to the ethernet-input → l2-learn → l2-fwd learning-bridge path, ending
+// at interface-output. Vector processing amortizes per-node fixed costs over
+// up to 256 packets, which is exactly why VPP stays fast under load and why
+// its low-load latency is batch-bound.
+package vpp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cost"
+	"repro/internal/l2"
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// VectorSize is VPP's maximum vector length.
+const VectorSize = 256
+
+// Cost constants, calibrated so the end-to-end p2p per-packet cost lands at
+// ≈ 58 ns (the paper's Fig. 4a: VPP exceeds 10 Gbps bidirectional at 64B but
+// stays below BESS's 16 Gbps).
+const (
+	nodeFixed      = 35 // per node visit per vector
+	inputPerPkt    = 28 // dpdk-input bookkeeping, beyond PMD costs
+	patchPerPkt    = 52 // l2-patch rewrite + validation work
+	ethInputPerPkt = 26 // header parse + classification
+	l2fwdPerPkt    = 18 // beyond the MAC table hash probes
+	outputPerPkt   = 29 // interface-output buffering
+	costJitterFrac = 0.02
+	vhostRxPenalty = 80 // paper §5.2: VPP pays extra receiving from vhost
+	vhostTxPenalty = 25 // and a smaller toll transmitting to it
+)
+
+// Node is one graph node.
+type Node interface {
+	Name() string
+	// Process handles a vector arriving with the given context (port
+	// index for port-scoped nodes).
+	Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf)
+}
+
+type pendingKey struct {
+	node string
+	ctx  int
+}
+
+// Switch is a VPP instance.
+type Switch struct {
+	env   switchdef.Env
+	ports []switchdef.DevPort
+
+	nodes   map[string]Node
+	order   []string // dispatch order
+	pending map[pendingKey][]*pkt.Buf
+	keys    []pendingKey // deterministic iteration
+
+	patch  map[int]int // l2patch: rx port -> tx port
+	bridge map[int]bool
+	mac    *l2.MACTable
+	l3     *ip4State
+
+	txStage [][]*pkt.Buf // per-port tx staging, flushed at frame end
+
+	// Forwarded and Dropped count data-plane outcomes.
+	Forwarded, Dropped int64
+}
+
+// New returns an unconfigured VPP instance.
+func New(env switchdef.Env) *Switch {
+	sw := &Switch{
+		env:     env,
+		nodes:   map[string]Node{},
+		pending: map[pendingKey][]*pkt.Buf{},
+		patch:   map[int]int{},
+		bridge:  map[int]bool{},
+		mac:     l2.NewMACTable(1024, 0),
+	}
+	for _, n := range []Node{patchNode{}, ethInputNode{}, l2LearnNode{}, l2FwdNode{}, outputNode{}, dropNode{}, ip4InputNode{}, ip4LookupNode{}, ip4RewriteNode{}} {
+		sw.nodes[n.Name()] = n
+		sw.order = append(sw.order, n.Name())
+	}
+	return sw
+}
+
+// Info implements switchdef.Switch.
+func (sw *Switch) Info() switchdef.Info { return info }
+
+var info = switchdef.Info{
+	Name:              "vpp",
+	Display:           "VPP",
+	Version:           "19.04",
+	SelfContained:     true,
+	Paradigm:          "structured",
+	ProcessingModel:   "RTC",
+	VirtualIface:      "vhost-user",
+	Reprogrammability: "medium",
+	Languages:         "C",
+	MainPurpose:       "Full router",
+	BestAt:            "VNF chaining",
+	Remarks:           "Supports live migration",
+	IOMode:            switchdef.PollMode,
+}
+
+// AddPort implements switchdef.Switch.
+func (sw *Switch) AddPort(p switchdef.DevPort) int {
+	sw.ports = append(sw.ports, p)
+	sw.txStage = append(sw.txStage, nil)
+	return len(sw.ports) - 1
+}
+
+// CrossConnect implements switchdef.Switch using the l2patch feature, as in
+// the paper's appendix ("test l2patch rx port0 tx port1").
+func (sw *Switch) CrossConnect(a, b int) error {
+	if err := sw.checkPort(a); err != nil {
+		return err
+	}
+	if err := sw.checkPort(b); err != nil {
+		return err
+	}
+	sw.patch[a] = b
+	sw.patch[b] = a
+	return nil
+}
+
+func (sw *Switch) checkPort(i int) error {
+	if i < 0 || i >= len(sw.ports) {
+		return fmt.Errorf("vpp: no port %d", i)
+	}
+	return nil
+}
+
+// CLI executes a small subset of the VPP command line:
+//
+//	test l2patch rx portA tx portB
+//	set interface l2 bridge portA
+func (sw *Switch) CLI(cmd string) error {
+	f := strings.Fields(cmd)
+	if len(f) == 6 && f[0] == "test" && f[1] == "l2patch" && f[2] == "rx" && f[4] == "tx" {
+		var rx, tx int
+		if _, err := fmt.Sscanf(f[3], "port%d", &rx); err != nil {
+			return fmt.Errorf("vpp: bad rx %q", f[3])
+		}
+		if _, err := fmt.Sscanf(f[5], "port%d", &tx); err != nil {
+			return fmt.Errorf("vpp: bad tx %q", f[5])
+		}
+		if e := sw.checkPort(rx); e != nil {
+			return e
+		}
+		if e := sw.checkPort(tx); e != nil {
+			return e
+		}
+		sw.patch[rx] = tx
+		return nil
+	}
+	if len(f) == 5 && f[0] == "set" && f[1] == "interface" && f[2] == "l2" && f[3] == "bridge" {
+		var p int
+		if _, err := fmt.Sscanf(f[4], "port%d", &p); err != nil {
+			return fmt.Errorf("vpp: bad port %q", f[4])
+		}
+		if e := sw.checkPort(p); e != nil {
+			return e
+		}
+		sw.bridge[p] = true
+		return nil
+	}
+	return sw.ipCLI(f)
+}
+
+// shard resolves the ingress-port subset for one core.
+func (sw *Switch) shard(rxPorts []int) []int {
+	return switchdef.Shard(rxPorts, len(sw.ports))
+}
+
+// enqueue hands a vector to a node for this dispatch frame.
+func (sw *Switch) enqueue(node string, ctx int, bufs []*pkt.Buf) {
+	k := pendingKey{node, ctx}
+	if _, ok := sw.pending[k]; !ok {
+		sw.keys = append(sw.keys, k)
+	}
+	sw.pending[k] = append(sw.pending[k], bufs...)
+}
+
+// Poll implements switchdef.Switch: one graph dispatch frame.
+func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
+	return sw.PollShard(now, m, nil)
+}
+
+// PollShard implements switchdef.MultiCore: one dispatch frame restricted
+// to the given ingress ports (nil = all).
+func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
+	// dpdk-input: pull one vector per port.
+	var burst [VectorSize]*pkt.Buf
+	got := false
+	for _, i := range sw.shard(rxPorts) {
+		p := sw.ports[i]
+		n := p.RxBurst(now, m, burst[:])
+		if n == 0 {
+			continue
+		}
+		got = true
+		m.ChargeNoisy(nodeFixed+units.Cycles(n)*inputPerPkt, costJitterFrac)
+		if p.Kind() == switchdef.VhostKind {
+			// Receiving from vhost-user ports costs VPP extra (the
+			// paper's "reversed unidirectional" finding).
+			m.Charge(units.Cycles(n) * vhostRxPenalty)
+		}
+		v := make([]*pkt.Buf, n)
+		copy(v, burst[:n])
+		_, patched := sw.patch[i]
+		switch {
+		case patched:
+			sw.enqueue("l2-patch", i, v)
+		case sw.bridge[i]:
+			sw.enqueue("ethernet-input", i, v)
+		case sw.l3 != nil && sw.l3.enabled[i]:
+			sw.enqueue("ip4-input", i, v)
+		default:
+			sw.enqueue("error-drop", i, v)
+		}
+	}
+	// Graph dispatch until quiescent.
+	for len(sw.keys) > 0 {
+		keys := sw.keys
+		sw.keys = nil
+		for _, k := range keys {
+			v := sw.pending[k]
+			delete(sw.pending, k)
+			node := sw.nodes[k.node]
+			node.Process(sw, now, m, k.ctx, v)
+		}
+	}
+	// Flush staged tx (each core owns the egress stages of its port
+	// shard, so idle cores do not steal work).
+	for _, i := range sw.shard(rxPorts) {
+		stage := sw.txStage[i]
+		if len(stage) == 0 {
+			continue
+		}
+		got = true
+		if sw.ports[i].Kind() == switchdef.VhostKind {
+			m.Charge(units.Cycles(len(stage)) * vhostTxPenalty)
+		}
+		sent := sw.ports[i].TxBurst(now, m, stage)
+		sw.Forwarded += int64(sent)
+		sw.Dropped += int64(len(stage) - sent)
+		sw.txStage[i] = stage[:0]
+	}
+	return got
+}
+
+type patchNode struct{}
+
+func (patchNode) Name() string { return "l2-patch" }
+func (patchNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
+	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*patchPerPkt, costJitterFrac)
+	sw.enqueue("interface-output", sw.patch[ctx], v)
+}
+
+type ethInputNode struct{}
+
+func (ethInputNode) Name() string { return "ethernet-input" }
+func (ethInputNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
+	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*ethInputPerPkt, costJitterFrac)
+	keep := v[:0]
+	for _, b := range v {
+		if _, err := pkt.ParseEth(b.Bytes()); err != nil {
+			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			continue
+		}
+		keep = append(keep, b)
+	}
+	if len(keep) > 0 {
+		sw.enqueue("l2-learn", ctx, keep)
+	}
+}
+
+type l2LearnNode struct{}
+
+func (l2LearnNode) Name() string { return "l2-learn" }
+func (l2LearnNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
+	m.Charge(nodeFixed + units.Cycles(len(v))*m.Model.HashLookup)
+	for _, b := range v {
+		sw.mac.Learn(pkt.EthSrc(b.Bytes()), ctx, now)
+	}
+	sw.enqueue("l2-fwd", ctx, v)
+}
+
+type l2FwdNode struct{}
+
+func (l2FwdNode) Name() string { return "l2-fwd" }
+func (l2FwdNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
+	m.Charge(nodeFixed + units.Cycles(len(v))*(m.Model.HashLookup+l2fwdPerPkt))
+	for _, b := range v {
+		dst, ok := sw.mac.Lookup(pkt.EthDst(b.Bytes()), now)
+		if ok && dst != ctx {
+			sw.enqueue("interface-output", dst, []*pkt.Buf{b})
+			continue
+		}
+		if ok && dst == ctx {
+			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			continue
+		}
+		// Flood to all other bridge ports (in port order, for
+		// deterministic replay).
+		flooded := false
+		for p := range sw.ports {
+			if p == ctx || !sw.bridge[p] {
+				continue
+			}
+			out := b
+			if flooded {
+				out = sw.env.Pool.Clone(b)
+				m.ChargeCopy(b.Len())
+			}
+			sw.enqueue("interface-output", p, []*pkt.Buf{out})
+			flooded = true
+		}
+		if !flooded {
+			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+		}
+	}
+}
+
+type outputNode struct{}
+
+func (outputNode) Name() string { return "interface-output" }
+func (outputNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
+	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*outputPerPkt, costJitterFrac)
+	sw.txStage[ctx] = append(sw.txStage[ctx], v...)
+}
+
+type dropNode struct{}
+
+func (dropNode) Name() string { return "error-drop" }
+func (dropNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
+	for _, b := range v {
+		b.Free()
+	}
+	sw.Dropped += int64(len(v))
+}
+
+// MACTable exposes the bridge table for tests.
+func (sw *Switch) MACTable() *l2.MACTable { return sw.mac }
+
+func init() {
+	switchdef.Register(info, func(env switchdef.Env) switchdef.Switch { return New(env) })
+}

@@ -1,0 +1,173 @@
+package vpp
+
+import (
+	"testing"
+
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/switches/switchtest"
+)
+
+func newSUT(t *testing.T, ports int) (*Switch, []*switchtest.FakePort, switchdef.Env) {
+	t.Helper()
+	env := switchtest.Env()
+	sw := New(env)
+	fps := make([]*switchtest.FakePort, ports)
+	for i := range fps {
+		fps[i] = switchtest.NewFakePort("p")
+		sw.AddPort(fps[i])
+	}
+	return sw, fps, env
+}
+
+func TestL2PatchForwards(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	if err := sw.CrossConnect(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	fps[1].In = append(fps[1].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 2}, pkt.MAC{2, 0, 0, 0, 0, 1}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 || len(fps[0].Out) != 1 {
+		t.Fatalf("out counts = %d, %d", len(fps[0].Out), len(fps[1].Out))
+	}
+	if sw.Forwarded != 2 {
+		t.Fatalf("forwarded = %d", sw.Forwarded)
+	}
+}
+
+func TestCLIL2Patch(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	// Unidirectional patch via the CLI, as the paper's appendix does.
+	if err := sw.CLI("test l2patch rx port0 tx port1"); err != nil {
+		t.Fatal(err)
+	}
+	m := switchtest.Meter(env)
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	fps[1].In = append(fps[1].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 2}, pkt.MAC{2, 0, 0, 0, 0, 1}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 {
+		t.Fatalf("patched direction out = %d", len(fps[1].Out))
+	}
+	// The un-patched reverse direction drops.
+	if len(fps[0].Out) != 0 || sw.Dropped != 1 {
+		t.Fatalf("reverse out=%d dropped=%d", len(fps[0].Out), sw.Dropped)
+	}
+}
+
+func TestCLIErrors(t *testing.T) {
+	sw, _, _ := newSUT(t, 2)
+	for _, cmd := range []string{
+		"test l2patch rx port0 tx port9",
+		"test l2patch rx nope tx port1",
+		"show version",
+		"set interface l2 bridge portx",
+	} {
+		if err := sw.CLI(cmd); err == nil {
+			t.Errorf("CLI(%q) accepted", cmd)
+		}
+	}
+}
+
+func TestBridgeLearningAndFlood(t *testing.T) {
+	sw, fps, env := newSUT(t, 3)
+	for i := 0; i < 3; i++ {
+		if err := sw.CLI("set interface l2 bridge port" + string(rune('0'+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := switchtest.Meter(env)
+	a := pkt.MAC{2, 0, 0, 0, 0, 0xa}
+	b := pkt.MAC{2, 0, 0, 0, 0, 0xb}
+	// Unknown destination floods to the other two ports.
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, a, b, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if len(fps[1].Out) != 1 || len(fps[2].Out) != 1 {
+		t.Fatalf("flood outputs = %d, %d", len(fps[1].Out), len(fps[2].Out))
+	}
+	// b replies from port 2: a was learned on port 0 so no flood.
+	fps[2].In = append(fps[2].In, switchtest.Frame(env.Pool, b, a, 64))
+	switchtest.PollUntilIdle(sw, m, 1)
+	if len(fps[0].Out) != 1 {
+		t.Fatalf("unicast to learned MAC = %d", len(fps[0].Out))
+	}
+	if len(fps[1].Out) != 1 {
+		t.Fatalf("flooded despite learned destination: %d", len(fps[1].Out))
+	}
+	if sw.MACTable().Len() != 2 {
+		t.Fatalf("table len = %d", sw.MACTable().Len())
+	}
+}
+
+func TestBridgeHairpinDrops(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	_ = sw.CLI("set interface l2 bridge port0")
+	_ = sw.CLI("set interface l2 bridge port1")
+	m := switchtest.Meter(env)
+	a := pkt.MAC{2, 0, 0, 0, 0, 0xa}
+	// Learn a on port 0, then send a frame for a arriving on port 0:
+	// destination is the ingress port — must drop.
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, a, pkt.Broadcast, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	fps[0].Out = nil
+	fps[1].Out = nil
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 0xb}, a, 64))
+	switchtest.PollUntilIdle(sw, m, 1)
+	if len(fps[0].Out) != 0 || len(fps[1].Out) != 0 {
+		t.Fatal("hairpin frame forwarded")
+	}
+}
+
+func TestCrossConnectValidation(t *testing.T) {
+	sw, _, _ := newSUT(t, 2)
+	if err := sw.CrossConnect(0, 7); err == nil {
+		t.Fatal("bad port accepted")
+	}
+	if err := sw.CrossConnect(-1, 1); err == nil {
+		t.Fatal("negative port accepted")
+	}
+}
+
+func TestUnconfiguredPortDrops(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	m := switchtest.Meter(env)
+	fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	switchtest.PollUntilIdle(sw, m, 0)
+	if sw.Dropped != 1 {
+		t.Fatalf("dropped = %d", sw.Dropped)
+	}
+	if env.Pool.Live() != 0 {
+		t.Fatalf("leaked %d buffers", env.Pool.Live())
+	}
+}
+
+func TestInfoTaxonomy(t *testing.T) {
+	sw, _, _ := newSUT(t, 0)
+	info := sw.Info()
+	if !info.SelfContained || info.Paradigm != "structured" || info.ProcessingModel != "RTC" {
+		t.Fatalf("taxonomy mismatch: %+v", info)
+	}
+	if info.VirtualIface != "vhost-user" || info.Reprogrammability != "medium" {
+		t.Fatalf("taxonomy mismatch: %+v", info)
+	}
+}
+
+func TestPollChargesCycles(t *testing.T) {
+	sw, fps, env := newSUT(t, 2)
+	_ = sw.CrossConnect(0, 1)
+	m := switchtest.Meter(env)
+	for i := 0; i < 32; i++ {
+		fps[0].In = append(fps[0].In, switchtest.Frame(env.Pool, pkt.MAC{2, 0, 0, 0, 0, 1}, pkt.MAC{2, 0, 0, 0, 0, 2}, 64))
+	}
+	sw.Poll(0, m)
+	if m.Pending() == 0 {
+		t.Fatal("forwarding charged no cycles")
+	}
+	// The 64B p2p path must fit well under 100 ns/packet for VPP to beat
+	// 10 Gbps bidirectional (Fig. 4a).
+	perPkt := float64(m.Pending()) / 32
+	if perPkt < 60 || perPkt > 260 {
+		t.Fatalf("per-packet cost = %.0f cycles, outside sanity band", perPkt)
+	}
+}

@@ -1,0 +1,202 @@
+// Package tgen models the traffic generation and measurement tools of the
+// paper's testbed: MoonGen as TX/RX on the NUMA-node-1 NIC (with hardware
+// PTP timestamping for p2p/loopback latency), and the counting sinks.
+//
+// Generators run on dedicated node-1 cores, so — as the paper argues for
+// its single-server methodology — they consume no SUT resources; their
+// cost accounting is pacing only.
+package tgen
+
+import (
+	"repro/internal/nic"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// DefaultBurst is MoonGen's TX burst size.
+const DefaultBurst = 32
+
+// imixSizes is the classic IMIX cycle: 7×64B, 4×570B, 1×1518B.
+var imixSizes = []int{64, 570, 64, 570, 64, 1518, 64, 570, 64, 570, 64, 64}
+
+// Config describes one generator (one TX port).
+type Config struct {
+	Name string
+	Port *nic.Port
+	Pool *pkt.Pool
+	Spec pkt.FrameSpec
+	// Rate is the offered load; 0 means saturate the line.
+	Rate units.BitRate
+	// Burst is the TX burst size (default 32).
+	Burst int
+	// ProbeEvery injects a PTP latency probe at this interval (0 = none).
+	ProbeEvery units.Time
+	// Flows cycles the synthetic traffic across this many flows
+	// (distinct source MAC + UDP source port); 0/1 = the paper's
+	// single-flow traffic.
+	Flows int
+	// IMIX cycles frame sizes through the classic Internet mix
+	// (7×64B : 4×570B : 1×1518B) instead of Spec.FrameLen.
+	IMIX bool
+	// SWTimestamp stamps probes at generation time instead of leaving
+	// them for NIC hardware timestamping.
+	SWTimestamp bool
+}
+
+// Generator is a MoonGen TX thread.
+type Generator struct {
+	cfg   Config
+	sched *sim.Scheduler
+	task  *sim.Task
+
+	seq       uint64
+	nextProbe units.Time
+	nextDue   units.Time // rate-mode pacing
+
+	// Sent counts emitted frames; SentProbes the probe subset.
+	Sent       int64
+	SentProbes int64
+}
+
+// NewGenerator registers a generator with the scheduler (idle until Start).
+func NewGenerator(s *sim.Scheduler, cfg Config) *Generator {
+	if cfg.Burst == 0 {
+		cfg.Burst = DefaultBurst
+	}
+	g := &Generator{cfg: cfg, sched: s}
+	g.task = s.Register(cfg.Name, g)
+	return g
+}
+
+// Start schedules the first burst.
+func (g *Generator) Start(at units.Time) {
+	g.nextDue = at
+	g.nextProbe = at + g.cfg.ProbeEvery
+	g.sched.WakeAt(g.task, at)
+}
+
+// Step implements sim.Actor: emit one burst (saturating mode) or one
+// CBR-spaced frame (rate mode, as MoonGen paces) and reschedule.
+func (g *Generator) Step(now units.Time) (units.Time, bool) {
+	port := g.cfg.Port
+	burst := g.cfg.Burst
+	if g.cfg.Rate > 0 {
+		burst = 1
+	} else {
+		// Saturating mode keeps the TX ring topped up so the wire never
+		// idles on the doorbell latency (MoonGen queues descriptors
+		// ahead of the NIC).
+		burst = 4 * g.cfg.Burst
+	}
+	for i := 0; i < burst; i++ {
+		if port.TxFree(now) == 0 {
+			break
+		}
+		spec := g.cfg.Spec
+		if g.cfg.IMIX {
+			spec.FrameLen = imixSizes[g.seq%uint64(len(imixSizes))]
+		}
+		b := g.cfg.Pool.Get(spec.FrameLen)
+		spec.Build(b)
+		g.seq++
+		b.Seq = g.seq
+		if g.cfg.Flows > 1 {
+			flow := int(g.seq) % g.cfg.Flows
+			pkt.PatchFlow(b, g.cfg.Spec, flow)
+		}
+		if g.cfg.ProbeEvery > 0 && now >= g.nextProbe {
+			var ts units.Time // 0: the NIC stamps on the wire
+			if g.cfg.SWTimestamp {
+				ts = now
+			}
+			pkt.MarkProbe(b, g.seq, ts)
+			g.nextProbe = now + g.cfg.ProbeEvery
+			g.SentProbes++
+		}
+		if !port.Send(now, b) {
+			b.Free()
+			break
+		}
+		g.Sent++
+	}
+	if g.cfg.Rate <= 0 {
+		// Saturating mode: return before the queued frames drain so the
+		// ring never empties.
+		next := now + units.Time(g.cfg.Burst)*port.Rate().WireTime(g.cfg.Spec.FrameLen)/2
+		if until := port.BusyUntil(); until > now && until-now < next-now {
+			// Ring nearly empty: catch up immediately.
+			next = until
+		}
+		if next <= now {
+			next = now + units.Nanosecond
+		}
+		return next, true
+	}
+	// Rate mode: constant bit rate, one frame interval at a time.
+	g.nextDue += g.cfg.Rate.WireTime(g.cfg.Spec.FrameLen)
+	if g.nextDue <= now {
+		g.nextDue = now + units.Nanosecond
+	}
+	return g.nextDue, true
+}
+
+// Sink is the RX/measurement side (MoonGen RX thread or FloWatcher): it
+// drains a NIC port, counts frames, and records probe round-trip times.
+type Sink struct {
+	Port *nic.Port
+
+	sched *sim.Scheduler
+	task  *sim.Task
+	every units.Time
+
+	// Rx counts everything the sink consumed; Hist collects probe RTTs.
+	Rx   stats.Counter
+	Hist stats.Histogram
+	// Capture, when set, observes every consumed frame (pcap dumps).
+	Capture func(at units.Time, b *pkt.Buf)
+}
+
+// SinkPollInterval is how often the sink drains its port; with a 4096-deep
+// ring this never drops at line rate.
+const SinkPollInterval = 2 * units.Microsecond
+
+// NewSink registers a sink with the scheduler (idle until Start).
+func NewSink(s *sim.Scheduler, name string, port *nic.Port) *Sink {
+	k := &Sink{Port: port, sched: s, every: SinkPollInterval}
+	k.task = s.Register(name, k)
+	return k
+}
+
+// Start schedules the first poll.
+func (k *Sink) Start(at units.Time) { k.sched.WakeAt(k.task, at) }
+
+// Step implements sim.Actor.
+func (k *Sink) Step(now units.Time) (units.Time, bool) {
+	var burst [256]*pkt.Buf
+	for {
+		n := k.Port.RxBurst(now, burst[:])
+		if n == 0 {
+			break
+		}
+		for _, b := range burst[:n] {
+			k.Rx.Add(1, int64(b.Len()))
+			if k.Capture != nil {
+				k.Capture(b.Ingress, b)
+			}
+			if b.Probe {
+				if _, tx, ok := pkt.ProbeInfo(b); ok && tx > 0 {
+					k.Hist.Add(b.Ingress - tx)
+				} else if b.TxStamp > 0 {
+					k.Hist.Add(b.Ingress - b.TxStamp)
+				}
+			}
+			b.Free()
+		}
+		if n < len(burst) {
+			break
+		}
+	}
+	return now + k.every, true
+}

@@ -1,0 +1,170 @@
+// Package vhost models a vhost-user virtio network device: the mechanism
+// Snabb introduced and DPDK adopted for direct packet exchange between a
+// user-space switch and a QEMU guest.
+//
+// The defining property the paper measures is its copy semantics: the host
+// switch reads and writes guest memory, so every crossing of the device
+// costs the host core one packet copy plus descriptor handling — the "vhost
+// tax" that separates p2v/v2v/loopback results from p2p.
+package vhost
+
+import (
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/ring"
+	"repro/internal/units"
+)
+
+// Config sizes a device.
+type Config struct {
+	Name string
+	// QueueLen is the vring depth (default 256, the QEMU default).
+	QueueLen int
+	// GuestPool allocates the guest-memory buffers; HostPool the host
+	// mbufs produced when dequeuing.
+	GuestPool, HostPool *pkt.Pool
+	// CostScale scales the crossing costs, letting Snabb's independent
+	// vhost implementation price differently from DPDK's (default 1.0).
+	CostScale float64
+	// EnqScale and DeqScale override CostScale per direction when
+	// non-zero: EnqScale prices host→guest delivery (copy into guest
+	// memory plus notification), DeqScale guest→host retrieval.
+	EnqScale, DeqScale float64
+	// GuestNotifyDelay is the host→guest availability latency (used
+	// descriptor publication + notification); the guest driver sees an
+	// enqueued frame only after it elapses.
+	GuestNotifyDelay units.Time
+}
+
+// DefaultGuestNotifyDelay matches a vhost-user used-ring publication plus
+// guest wakeup path.
+const DefaultGuestNotifyDelay = 8 * units.Microsecond
+
+// Device is one virtio-net device with a vhost-user backend.
+type Device struct {
+	cfg Config
+
+	// rxRing carries host→guest frames (the guest's receive queue);
+	// txRing carries guest→host frames.
+	rxRing, txRing *ring.SPSC
+
+	// HostCopies counts data copies performed by the host core.
+	HostCopies int64
+}
+
+// New returns a device with empty rings.
+func New(cfg Config) *Device {
+	if cfg.QueueLen == 0 {
+		cfg.QueueLen = 256
+	}
+	if cfg.CostScale == 0 {
+		cfg.CostScale = 1
+	}
+	if cfg.EnqScale == 0 {
+		cfg.EnqScale = cfg.CostScale
+	}
+	if cfg.DeqScale == 0 {
+		cfg.DeqScale = cfg.CostScale
+	}
+	if cfg.GuestNotifyDelay == 0 {
+		cfg.GuestNotifyDelay = DefaultGuestNotifyDelay
+	}
+	if cfg.GuestPool == nil || cfg.HostPool == nil {
+		panic("vhost: missing pools")
+	}
+	return &Device{
+		cfg:    cfg,
+		rxRing: ring.New(cfg.QueueLen),
+		txRing: ring.New(cfg.QueueLen),
+	}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.cfg.Name }
+
+func scaleBy(c units.Cycles, s float64) units.Cycles {
+	if s == 1 {
+		return c
+	}
+	return units.Cycles(float64(c) * s)
+}
+
+// HostEnqueue delivers one frame to the guest at time now: the host core
+// copies the frame into guest memory and posts a used descriptor; the
+// guest sees it after the notify delay. On success the original buffer is
+// freed and true is returned; if the vring is full the caller keeps
+// ownership.
+func (d *Device) HostEnqueue(now units.Time, m *cost.Meter, b *pkt.Buf) bool {
+	if d.rxRing.Free() == 0 {
+		d.rxRing.Drops++
+		return false
+	}
+	g := d.cfg.GuestPool.Clone(b)
+	g.AvailAt = now + d.cfg.GuestNotifyDelay
+	d.rxRing.Push(g)
+	m.Charge(scaleBy(m.Model.CopyCost(b.Len())+m.Model.VhostDesc, d.cfg.EnqScale))
+	d.HostCopies++
+	b.Free()
+	return true
+}
+
+// HostDequeue takes up to len(out) frames the guest transmitted, copying
+// each into a host mbuf. Costs are charged to the host core.
+func (d *Device) HostDequeue(m *cost.Meter, out []*pkt.Buf) int {
+	n := 0
+	for n < len(out) {
+		g := d.txRing.Pop()
+		if g == nil {
+			break
+		}
+		h := d.cfg.HostPool.Clone(g)
+		h.AvailAt = 0
+		m.Charge(scaleBy(m.Model.CopyCost(g.Len())+m.Model.VhostDesc, d.cfg.DeqScale))
+		d.HostCopies++
+		g.Free()
+		out[n] = h
+		n++
+	}
+	return n
+}
+
+// GuestSend posts one guest frame for transmission (guest driver side: pure
+// descriptor work, no copy — the buffer is guest memory). On failure the
+// caller keeps ownership.
+func (d *Device) GuestSend(m *cost.Meter, b *pkt.Buf) bool {
+	if !d.txRing.Push(b) {
+		return false
+	}
+	m.Charge(m.Model.VhostDesc)
+	return true
+}
+
+// GuestRecv takes up to len(out) received frames visible at time now
+// (guest driver side).
+func (d *Device) GuestRecv(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
+	n := 0
+	for n < len(out) {
+		head := d.rxRing.Peek()
+		if head == nil || head.AvailAt > now {
+			break
+		}
+		out[n] = d.rxRing.Pop()
+		n++
+	}
+	if n > 0 {
+		m.Charge(units.Cycles(n) * m.Model.VhostDesc)
+	}
+	return n
+}
+
+// GuestPending returns the number of frames awaiting the guest.
+func (d *Device) GuestPending() int { return d.rxRing.Len() }
+
+// HostPending returns the number of frames awaiting the host.
+func (d *Device) HostPending() int { return d.txRing.Len() }
+
+// RxDrops returns frames lost because the guest receive ring was full.
+func (d *Device) RxDrops() int64 { return d.rxRing.Drops }
+
+// TxDrops returns frames lost because the guest transmit ring was full.
+func (d *Device) TxDrops() int64 { return d.txRing.Drops }

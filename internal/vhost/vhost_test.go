@@ -1,0 +1,139 @@
+package vhost
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/units"
+)
+
+func newDev(cfg Config) (*Device, *pkt.Pool, *pkt.Pool) {
+	host, guest := pkt.NewPool(2048), pkt.NewPool(2048)
+	cfg.GuestPool, cfg.HostPool = guest, host
+	return New(cfg), host, guest
+}
+
+func TestHostEnqueueCopiesIntoGuestMemory(t *testing.T) {
+	dev, host, guest := newDev(Config{Name: "v0"})
+	m := cost.NewMeter(cost.Default(), nil)
+	b := host.Get(64)
+	for i := range b.Bytes() {
+		b.Bytes()[i] = byte(i)
+	}
+	if !dev.HostEnqueue(0, m, b) {
+		t.Fatal("enqueue failed")
+	}
+	// The original host buffer was freed; the guest holds a copy.
+	if host.Live() != 0 || guest.Live() != 1 {
+		t.Fatalf("host live=%d guest live=%d", host.Live(), guest.Live())
+	}
+	if dev.HostCopies != 1 {
+		t.Fatalf("copies = %d", dev.HostCopies)
+	}
+	if m.Pending() == 0 {
+		t.Fatal("copy charged nothing")
+	}
+}
+
+func TestGuestNotifyDelayGatesVisibility(t *testing.T) {
+	dev, host, _ := newDev(Config{Name: "v0", GuestNotifyDelay: 5 * units.Microsecond})
+	m := cost.NewMeter(cost.Default(), nil)
+	dev.HostEnqueue(0, m, host.Get(64))
+	var out [4]*pkt.Buf
+	if n := dev.GuestRecv(2*units.Microsecond, m, out[:]); n != 0 {
+		t.Fatalf("frame visible before notify delay: %d", n)
+	}
+	if n := dev.GuestRecv(6*units.Microsecond, m, out[:]); n != 1 {
+		t.Fatalf("frame not visible after delay: %d", n)
+	}
+	out[0].Free()
+}
+
+func TestVringOverflowDrops(t *testing.T) {
+	dev, host, _ := newDev(Config{Name: "v0", QueueLen: 4})
+	m := cost.NewMeter(cost.Default(), nil)
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		b := host.Get(64)
+		if dev.HostEnqueue(0, m, b) {
+			accepted++
+		} else {
+			b.Free()
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted = %d, want ring size", accepted)
+	}
+	if dev.RxDrops() != 6 {
+		t.Fatalf("drops = %d", dev.RxDrops())
+	}
+	if host.Live() != 0 {
+		t.Fatalf("host buffers leaked: %d", host.Live())
+	}
+}
+
+func TestGuestSendHostDequeue(t *testing.T) {
+	dev, host, guest := newDev(Config{Name: "v0"})
+	gm := cost.NewMeter(cost.Default(), nil)
+	g := guest.Get(128)
+	g.Seq = 42
+	if !dev.GuestSend(gm, g) {
+		t.Fatal("guest send failed")
+	}
+	if dev.HostPending() != 1 {
+		t.Fatal("host pending wrong")
+	}
+	hm := cost.NewMeter(cost.Default(), nil)
+	var out [4]*pkt.Buf
+	if n := dev.HostDequeue(hm, out[:]); n != 1 {
+		t.Fatalf("dequeue = %d", n)
+	}
+	if out[0].Seq != 42 || out[0].Len() != 128 {
+		t.Fatal("payload mismatch")
+	}
+	// Dequeue copies guest→host and frees guest memory.
+	if guest.Live() != 0 || host.Live() != 1 {
+		t.Fatalf("guest live=%d host live=%d", guest.Live(), host.Live())
+	}
+	if hm.Pending() == 0 {
+		t.Fatal("dequeue copy charged nothing")
+	}
+	out[0].Free()
+}
+
+func TestCostScaleDirections(t *testing.T) {
+	cheap, _, _ := newDev(Config{Name: "a", CostScale: 1})
+	costly, _, _ := newDev(Config{Name: "b", EnqScale: 2, DeqScale: 0.5})
+
+	chargeEnq := func(d *Device) units.Cycles {
+		m := cost.NewMeter(cost.Default(), nil)
+		b := d.cfg.HostPool.Get(64)
+		d.HostEnqueue(0, m, b)
+		return m.Pending()
+	}
+	if 2*chargeEnq(cheap) != chargeEnq(costly) {
+		t.Fatalf("enq scale: base=%d scaled=%d", chargeEnq(cheap), chargeEnq(costly))
+	}
+}
+
+func TestCopyCostGrowsWithFrameSize(t *testing.T) {
+	dev, host, _ := newDev(Config{Name: "v0"})
+	charge := func(size int) units.Cycles {
+		m := cost.NewMeter(cost.Default(), nil)
+		dev.HostEnqueue(0, m, host.Get(size))
+		return m.Pending()
+	}
+	if charge(64) >= charge(1024) {
+		t.Fatal("1024B crossing not costlier than 64B")
+	}
+}
+
+func TestMissingPoolsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(Config{Name: "bad"})
+}

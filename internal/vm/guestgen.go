@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Generator is MoonGen or pkt-gen running inside a guest, transmitting on
+// one guest interface. MoonGen emulates a port profile, so VirtualRate
+// caps its offered load (the paper's v2v runs show virtio switches capped
+// near 10 Gbps at large frames for exactly this reason); pkt-gen over
+// ptnet has no such profile and runs unlimited (VirtualRate = 0 — how the
+// paper's VALE v2v exceeds 10 Gbps).
+type Generator struct {
+	If   NetIf
+	Pool *pkt.Pool
+	Spec pkt.FrameSpec
+	// VirtualRate caps the offered load (0 = unlimited).
+	VirtualRate units.BitRate
+	// ProbeEvery injects software-timestamped probes (0 = none).
+	ProbeEvery units.Time
+	Burst      int
+
+	sched *sim.Scheduler
+	task  *sim.Task
+	meter *cost.Meter
+
+	seq       uint64
+	nextProbe units.Time
+	nextDue   units.Time
+
+	// Sent counts emitted frames.
+	Sent int64
+}
+
+// guestGenPerPkt is the per-frame generation cost on the guest core.
+const guestGenPerPkt = 30
+
+// StartGenerator registers and starts the guest generator on its own guest
+// core at time at.
+func StartGenerator(s *sim.Scheduler, name string, g *Generator, m *cost.Meter, at units.Time) *Generator {
+	if g.Burst == 0 {
+		g.Burst = 32
+	}
+	g.sched = s
+	g.meter = m
+	g.task = s.Register(name, g)
+	g.nextDue = at
+	g.nextProbe = at + g.ProbeEvery
+	s.WakeAt(g.task, at)
+	return g
+}
+
+// Step implements sim.Actor.
+func (g *Generator) Step(now units.Time) (units.Time, bool) {
+	sent := 0
+	burst := g.Burst
+	if g.VirtualRate > 0 && g.ProbeEvery > 0 {
+		// Latency runs pace frames individually (MoonGen CBR).
+		burst = 1
+	}
+	for i := 0; i < burst; i++ {
+		b := g.Pool.Get(g.Spec.FrameLen)
+		g.Spec.Build(b)
+		g.seq++
+		b.Seq = g.seq
+		if g.ProbeEvery > 0 && now >= g.nextProbe {
+			pkt.MarkProbe(b, g.seq, now) // software timestamp
+			g.nextProbe = now + g.ProbeEvery
+		}
+		g.meter.Charge(guestGenPerPkt)
+		if !g.If.Send(now, g.meter, b) {
+			b.Free()
+			break
+		}
+		g.Sent++
+		sent++
+	}
+	elapsed := g.meter.Drain()
+	if g.VirtualRate > 0 {
+		g.nextDue += units.Time(int64(g.VirtualRate.WireTime(g.Spec.FrameLen)) * int64(burst))
+		if g.nextDue <= now {
+			g.nextDue = now + units.Nanosecond
+		}
+		return g.nextDue, true
+	}
+	// Unlimited: pace by the CPU cost of generating, or back off briefly
+	// when the ring is full.
+	next := now + elapsed
+	if sent == 0 {
+		next = now + 500*units.Nanosecond
+	}
+	if next <= now {
+		next = now + units.Nanosecond
+	}
+	return next, true
+}
+
+// Monitor is FloWatcher-DPDK or pkt-gen in RX mode: a guest-side counting
+// sink that also resolves software-timestamped probes (v2v latency). The
+// paper selected these tools because their overhead is negligible; the
+// model charges only the interface descriptor costs.
+type Monitor struct {
+	If NetIf
+	// SWStampNoise adds uniform measurement noise to software-timestamped
+	// RTTs, reflecting MoonGen's note that software timestamping is less
+	// accurate than NIC hardware support.
+	SWStampNoise units.Time
+	RNG          *sim.RNG
+
+	// Rx counts consumed frames; Hist collects probe RTTs.
+	Rx   stats.Counter
+	Hist stats.Histogram
+	// Capture, when set, observes every consumed frame (pcap dumps).
+	Capture func(at units.Time, b *pkt.Buf)
+}
+
+// Poll implements cpu.PollFunc; the monitor runs on a guest core.
+func (mo *Monitor) Poll(now units.Time, m *cost.Meter) bool {
+	var burst [64]*pkt.Buf
+	n := mo.If.Recv(now, m, burst[:])
+	for _, b := range burst[:n] {
+		mo.Rx.Add(1, int64(b.Len()))
+		if mo.Capture != nil {
+			mo.Capture(now, b)
+		}
+		if b.Probe {
+			tx := b.TxStamp
+			if tx == 0 {
+				if _, ptx, ok := pkt.ProbeInfo(b); ok {
+					tx = ptx
+				}
+			}
+			if tx > 0 {
+				rtt := now - tx
+				if mo.SWStampNoise > 0 && mo.RNG != nil {
+					rtt += units.Time(mo.RNG.Float64() * float64(mo.SWStampNoise))
+				}
+				mo.Hist.Add(rtt)
+			}
+		}
+		b.Free()
+	}
+	return n > 0
+}

@@ -1,0 +1,124 @@
+package vm
+
+import (
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/units"
+)
+
+// DPDK l2fwd constants (the sample application's MAX_PKT_BURST and
+// BURST_TX_DRAIN_US defaults).
+const (
+	L2FwdBurst        = 32
+	L2FwdDrainDefault = 100 * units.Microsecond
+)
+
+// Guest-side per-packet application cost.
+const l2fwdPerPkt = 34
+
+// L2Fwd is the DPDK l2fwd sample application: it cross-connects two guest
+// interfaces, rewriting source and (optionally) destination MACs, and
+// transmits in strict batches with a drain timeout.
+type L2Fwd struct {
+	A, B NetIf
+	// OwnMAC is written as the Ethernet source of forwarded frames.
+	OwnMAC pkt.MAC
+	// RewriteAB/RewriteBA, when non-nil, overwrite the destination MAC
+	// of frames forwarded A→B / B→A — how chain VNFs steer the next hop
+	// for MAC-forwarding SUTs (the paper's t4p4s loopback note).
+	RewriteAB, RewriteBA *pkt.MAC
+	// Drain is the TX buffer timeout (default 100 µs).
+	Drain units.Time
+
+	batchAB, batchBA []*pkt.Buf
+	firstAB, firstBA units.Time
+
+	// Forwarded and Dropped count frames through the VNF.
+	Forwarded, Dropped int64
+}
+
+// Poll runs one guest-core iteration; it implements cpu.PollFunc.
+func (f *L2Fwd) Poll(now units.Time, m *cost.Meter) bool {
+	if f.Drain == 0 {
+		f.Drain = L2FwdDrainDefault
+	}
+	did := f.pump(now, m, f.A, f.B, f.RewriteAB, &f.batchAB, &f.firstAB)
+	did = f.pump(now, m, f.B, f.A, f.RewriteBA, &f.batchBA, &f.firstBA) || did
+	return did
+}
+
+func (f *L2Fwd) pump(now units.Time, m *cost.Meter, from, to NetIf, rewrite *pkt.MAC, batch *[]*pkt.Buf, first *units.Time) bool {
+	var burst [L2FwdBurst]*pkt.Buf
+	n := from.Recv(now, m, burst[:])
+	for _, b := range burst[:n] {
+		m.Charge(l2fwdPerPkt)
+		data := b.Bytes()
+		pkt.SetEthSrc(data, f.OwnMAC)
+		if rewrite != nil {
+			pkt.SetEthDst(data, *rewrite)
+		}
+		if len(*batch) == 0 {
+			*first = now
+		}
+		*batch = append(*batch, b)
+	}
+	// Strict batching: flush on a full burst or when the oldest buffered
+	// frame has waited out the drain timer.
+	if len(*batch) >= L2FwdBurst || (len(*batch) > 0 && now-*first >= f.Drain) {
+		f.flush(now, m, to, batch)
+	}
+	return n > 0
+}
+
+func (f *L2Fwd) flush(now units.Time, m *cost.Meter, to NetIf, batch *[]*pkt.Buf) {
+	for _, b := range *batch {
+		if to.Send(now, m, b) {
+			f.Forwarded++
+		} else {
+			b.Free()
+			f.Dropped++
+		}
+	}
+	*batch = (*batch)[:0]
+}
+
+// ValeFwd is the loopback VNF used with the VALE SUT: a guest VALE
+// instance cross-connecting two ptnet ports. Forwarding costs one
+// inter-port copy on the guest core; there is no strict batching (VALE's
+// adaptive batches forward whatever is pending).
+type ValeFwd struct {
+	A, B NetIf
+	Pool *pkt.Pool // guest memory for the inter-port copies
+
+	Forwarded, Dropped int64
+}
+
+// Per-frame guest VALE costs.
+const (
+	valeFwdPerPkt        = 40
+	valeFwdCopyPerByteMi = 300
+)
+
+// Poll runs one guest-core iteration; it implements cpu.PollFunc.
+func (f *ValeFwd) Poll(now units.Time, m *cost.Meter) bool {
+	did := f.pump(now, m, f.A, f.B)
+	did = f.pump(now, m, f.B, f.A) || did
+	return did
+}
+
+func (f *ValeFwd) pump(now units.Time, m *cost.Meter, from, to NetIf) bool {
+	var burst [64]*pkt.Buf
+	n := from.Recv(now, m, burst[:])
+	for _, b := range burst[:n] {
+		m.Charge(valeFwdPerPkt + valeFwdCopyPerByteMi*units.Cycles(b.Len())/1000)
+		out := f.Pool.Clone(b)
+		b.Free()
+		if to.Send(now, m, out) {
+			f.Forwarded++
+		} else {
+			out.Free()
+			f.Dropped++
+		}
+	}
+	return n > 0
+}

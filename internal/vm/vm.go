@@ -1,0 +1,82 @@
+// Package vm models the guest side of the testbed: QEMU virtual machines
+// hosting VNFs. Each VNF app runs on its own guest core (the paper gives
+// every VM four cores; the SUT core is never shared with guests), driving
+// guest-side network interfaces — virtio ring endpoints for vhost-user
+// switches or ptnet endpoints for VALE.
+//
+// The packaged VNFs mirror the paper's:
+//
+//   - L2Fwd: the DPDK l2fwd sample application used inside chain VMs. It
+//     cross-connects two interfaces, rewrites MAC addresses, and transmits
+//     in strict 32-packet batches with a drain timeout — the behaviour
+//     behind the paper's finding that 0.10·R⁺ latency exceeds 0.50·R⁺
+//     latency everywhere except VALE.
+//   - Generator: MoonGen/pkt-gen in a guest: paced synthetic traffic with
+//     optional software timestamping for v2v latency runs.
+//   - Monitor: FloWatcher-DPDK/pkt-gen in RX mode: a counting sink with
+//     negligible overhead.
+//   - ValeFwd: a guest VALE instance cross-connecting two ptnet ports
+//     (the loopback VNF used with the VALE SUT).
+package vm
+
+import (
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/ptnet"
+	"repro/internal/units"
+	"repro/internal/vhost"
+)
+
+// NetIf is a guest-side network interface.
+type NetIf interface {
+	Name() string
+	// Send posts one frame toward the host; the caller keeps ownership
+	// on failure.
+	Send(now units.Time, m *cost.Meter, b *pkt.Buf) bool
+	// Recv takes up to len(out) frames from the host.
+	Recv(now units.Time, m *cost.Meter, out []*pkt.Buf) int
+	// Pending reports frames awaiting Recv.
+	Pending() int
+}
+
+// VirtioIf is the guest side of a vhost-user device.
+type VirtioIf struct {
+	Dev *vhost.Device
+}
+
+// Name implements NetIf.
+func (v *VirtioIf) Name() string { return v.Dev.Name() }
+
+// Send implements NetIf.
+func (v *VirtioIf) Send(now units.Time, m *cost.Meter, b *pkt.Buf) bool {
+	return v.Dev.GuestSend(m, b)
+}
+
+// Recv implements NetIf.
+func (v *VirtioIf) Recv(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
+	return v.Dev.GuestRecv(now, m, out)
+}
+
+// Pending implements NetIf.
+func (v *VirtioIf) Pending() int { return v.Dev.GuestPending() }
+
+// PtnetIf is the guest side of a ptnet device.
+type PtnetIf struct {
+	Dev *ptnet.Port
+}
+
+// Name implements NetIf.
+func (p *PtnetIf) Name() string { return p.Dev.Name() }
+
+// Send implements NetIf.
+func (p *PtnetIf) Send(now units.Time, m *cost.Meter, b *pkt.Buf) bool {
+	return p.Dev.GuestSend(now, m, b)
+}
+
+// Recv implements NetIf.
+func (p *PtnetIf) Recv(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
+	return p.Dev.GuestRecv(m, out)
+}
+
+// Pending implements NetIf.
+func (p *PtnetIf) Pending() int { return p.Dev.GuestPending() }

@@ -1,0 +1,206 @@
+package vm
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/ptnet"
+	"repro/internal/sim"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+	"repro/internal/vhost"
+)
+
+func virtioPair(name string) (*vhost.Device, *VirtioIf, *pkt.Pool, *pkt.Pool) {
+	host, guest := pkt.NewPool(2048), pkt.NewPool(2048)
+	dev := vhost.New(vhost.Config{Name: name, GuestPool: guest, HostPool: host,
+		GuestNotifyDelay: units.Nanosecond})
+	return dev, &VirtioIf{Dev: dev}, host, guest
+}
+
+func frameTo(pool *pkt.Pool, dst pkt.MAC) *pkt.Buf {
+	b := pool.Get(64)
+	pkt.FrameSpec{SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: dst, FrameLen: 64}.Build(b)
+	return b
+}
+
+func TestL2FwdRewritesAndBatches(t *testing.T) {
+	devA, ifA, hostA, _ := virtioPair("a")
+	devB, ifB, _, _ := virtioPair("b")
+	own := pkt.MAC{0x02, 0xff, 0, 0, 0, 1}
+	next := switchdef.PortMAC(5)
+	fwd := &L2Fwd{A: ifA, B: ifB, OwnMAC: own, RewriteAB: &next}
+	hm := cost.NewMeter(cost.Default(), nil)
+	gm := cost.NewMeter(cost.Default(), nil)
+
+	// Deliver one frame: the VNF buffers it (strict batching).
+	devA.HostEnqueue(0, hm, frameTo(hostA, pkt.MAC{9, 9, 9, 9, 9, 9}))
+	fwd.Poll(units.Microsecond, gm)
+	if devB.HostPending() != 0 {
+		t.Fatal("flushed before batch or drain")
+	}
+	// After the drain timeout, the frame leaves, rewritten.
+	fwd.Poll(units.Microsecond+L2FwdDrainDefault, gm)
+	if devB.HostPending() != 1 {
+		t.Fatalf("pending = %d", devB.HostPending())
+	}
+	var out [1]*pkt.Buf
+	devB.HostDequeue(hm, out[:])
+	if pkt.EthDst(out[0].Bytes()) != next {
+		t.Fatal("dst MAC not rewritten")
+	}
+	if pkt.EthSrc(out[0].Bytes()) != own {
+		t.Fatal("src MAC not set")
+	}
+	out[0].Free()
+	if fwd.Forwarded != 1 {
+		t.Fatalf("forwarded = %d", fwd.Forwarded)
+	}
+}
+
+func TestL2FwdFullBatchFlushesImmediately(t *testing.T) {
+	devA, ifA, hostA, _ := virtioPair("a")
+	devB, ifB, _, _ := virtioPair("b")
+	fwd := &L2Fwd{A: ifA, B: ifB, OwnMAC: pkt.MAC{2, 0, 0, 0, 0, 9}}
+	hm := cost.NewMeter(cost.Default(), nil)
+	gm := cost.NewMeter(cost.Default(), nil)
+	for i := 0; i < L2FwdBurst; i++ {
+		devA.HostEnqueue(0, hm, frameTo(hostA, pkt.MAC{9, 9, 9, 9, 9, 9}))
+	}
+	fwd.Poll(units.Microsecond, gm)
+	if devB.HostPending() != L2FwdBurst {
+		t.Fatalf("pending = %d, want full batch", devB.HostPending())
+	}
+}
+
+func TestL2FwdBidirectional(t *testing.T) {
+	devA, ifA, hostA, _ := virtioPair("a")
+	devB, ifB, hostB, _ := virtioPair("b")
+	fwd := &L2Fwd{A: ifA, B: ifB, OwnMAC: pkt.MAC{2, 0, 0, 0, 0, 9}, Drain: units.Microsecond}
+	hm := cost.NewMeter(cost.Default(), nil)
+	gm := cost.NewMeter(cost.Default(), nil)
+	devA.HostEnqueue(0, hm, frameTo(hostA, pkt.MAC{1, 1, 1, 1, 1, 1}))
+	devB.HostEnqueue(0, hm, frameTo(hostB, pkt.MAC{2, 2, 2, 2, 2, 2}))
+	fwd.Poll(10*units.Microsecond, gm)
+	fwd.Poll(20*units.Microsecond, gm) // drain fires
+	if devB.HostPending() != 1 || devA.HostPending() != 1 {
+		t.Fatalf("pending = %d, %d", devA.HostPending(), devB.HostPending())
+	}
+}
+
+func TestValeFwdCopiesAndForwards(t *testing.T) {
+	ptA, ptB := ptnet.New(ptnet.Config{Name: "a"}), ptnet.New(ptnet.Config{Name: "b"})
+	guestPool := pkt.NewPool(2048)
+	fwd := &ValeFwd{A: &PtnetIf{Dev: ptA}, B: &PtnetIf{Dev: ptB}, Pool: guestPool}
+	hm := cost.NewMeter(cost.Default(), nil)
+	gm := cost.NewMeter(cost.Default(), nil)
+
+	hostPool := pkt.NewPool(2048)
+	in := frameTo(hostPool, pkt.MAC{3, 3, 3, 3, 3, 3})
+	ptA.HostSend(hm, in)
+	fwd.Poll(0, gm) // no batching: forwards immediately
+	var out [1]*pkt.Buf
+	if ptB.HostRecv(hm, out[:]) != 1 {
+		t.Fatal("not forwarded")
+	}
+	if out[0] == in {
+		t.Fatal("guest VALE must copy between ports")
+	}
+	out[0].Free()
+}
+
+func TestMonitorCountsAndResolvesProbes(t *testing.T) {
+	dev, ifc, hostPool, _ := virtioPair("m")
+	mo := &Monitor{If: ifc}
+	hm := cost.NewMeter(cost.Default(), nil)
+	gm := cost.NewMeter(cost.Default(), nil)
+
+	plain := frameTo(hostPool, pkt.MAC{1, 1, 1, 1, 1, 1})
+	probe := frameTo(hostPool, pkt.MAC{1, 1, 1, 1, 1, 1})
+	pkt.MarkProbe(probe, 1, 10*units.Microsecond)
+	dev.HostEnqueue(0, hm, plain)
+	dev.HostEnqueue(0, hm, probe)
+	mo.Poll(50*units.Microsecond, gm)
+	if mo.Rx.Packets != 2 {
+		t.Fatalf("rx = %d", mo.Rx.Packets)
+	}
+	if mo.Hist.N() != 1 {
+		t.Fatalf("probes = %d", mo.Hist.N())
+	}
+	if got := mo.Hist.Mean(); got != 40*units.Microsecond {
+		t.Fatalf("rtt = %v", got)
+	}
+}
+
+func TestMonitorSWNoiseBounded(t *testing.T) {
+	dev, ifc, hostPool, _ := virtioPair("m")
+	mo := &Monitor{If: ifc, SWStampNoise: 2 * units.Microsecond, RNG: sim.NewRNG(3)}
+	hm := cost.NewMeter(cost.Default(), nil)
+	gm := cost.NewMeter(cost.Default(), nil)
+	for i := 0; i < 50; i++ {
+		probe := frameTo(hostPool, pkt.MAC{1, 1, 1, 1, 1, 1})
+		pkt.MarkProbe(probe, uint64(i), 2*units.Microsecond)
+		dev.HostEnqueue(0, hm, probe)
+		mo.Poll(12*units.Microsecond, gm)
+	}
+	if mo.Hist.Min() < 10*units.Microsecond || mo.Hist.Max() > 12*units.Microsecond {
+		t.Fatalf("noise out of bounds: [%v, %v]", mo.Hist.Min(), mo.Hist.Max())
+	}
+}
+
+func TestGuestGeneratorPacesAtVirtualRate(t *testing.T) {
+	s := sim.NewScheduler()
+	dev, ifc, _, guestPool := virtioPair("g")
+	gen := &Generator{
+		If: ifc, Pool: guestPool,
+		Spec:        pkt.FrameSpec{SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2}, FrameLen: 64},
+		VirtualRate: units.TenGigE,
+	}
+	StartGenerator(s, "gen", gen, cost.NewMeter(cost.Default(), sim.NewRNG(2)), 0)
+	// Drain continuously so the vring never blocks.
+	drained := 0
+	hm := cost.NewMeter(cost.Default(), nil)
+	drainTask := s.Register("drain", sim.StepFunc(func(now units.Time) (units.Time, bool) {
+		var out [64]*pkt.Buf
+		n := dev.HostDequeue(hm, out[:])
+		for _, b := range out[:n] {
+			b.Free()
+		}
+		drained += n
+		return now + units.Microsecond, true
+	}))
+	s.WakeAt(drainTask, 0)
+	s.RunUntil(units.Millisecond)
+	// 10G at 64B = 14.88 Mpps → ~14880 packets per ms.
+	if gen.Sent < 14000 || gen.Sent > 15500 {
+		t.Fatalf("sent = %d, want ~14880", gen.Sent)
+	}
+}
+
+func TestGuestGeneratorUnlimitedBeatsLineRate(t *testing.T) {
+	s := sim.NewScheduler()
+	pt := ptnet.New(ptnet.Config{Name: "g", Slots: 4096})
+	guestPool := pkt.NewPool(2048)
+	gen := &Generator{
+		If: &PtnetIf{Dev: pt}, Pool: guestPool,
+		Spec: pkt.FrameSpec{SrcMAC: pkt.MAC{2, 0, 0, 0, 0, 1}, DstMAC: pkt.MAC{2, 0, 0, 0, 0, 2}, FrameLen: 64},
+	}
+	StartGenerator(s, "gen", gen, cost.NewMeter(cost.Default(), sim.NewRNG(2)), 0)
+	hm := cost.NewMeter(cost.Default(), nil)
+	drainTask := s.Register("drain", sim.StepFunc(func(now units.Time) (units.Time, bool) {
+		var out [256]*pkt.Buf
+		n := pt.HostRecv(hm, out[:])
+		for _, b := range out[:n] {
+			b.Free()
+		}
+		return now + units.Microsecond, true
+	}))
+	s.WakeAt(drainTask, 0)
+	s.RunUntil(units.Millisecond)
+	// pkt-gen over ptnet is not line-rate capped (paper: VALE v2v beats
+	// 10 Gbps).
+	if gen.Sent < 16000 {
+		t.Fatalf("sent = %d, want well above line-rate pacing", gen.Sent)
+	}
+}

@@ -1,0 +1,213 @@
+package swbench
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/stats"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// Core measurement types.
+type (
+	// Config describes one measurement run.
+	Config = core.Config
+	// Result is one run's measurements.
+	Result = core.Result
+	// ScenarioKind selects one of the paper's four test scenarios.
+	ScenarioKind = core.ScenarioKind
+	// RunOpts sets simulation window lengths for experiment suites.
+	RunOpts = core.RunOpts
+	// LatencyPoint is a mean-RTT measurement at a fraction of R⁺.
+	LatencyPoint = core.LatencyPoint
+	// Summary is a latency distribution snapshot.
+	Summary = stats.Summary
+)
+
+// The four test scenarios (paper Fig. 2).
+const (
+	P2P      = core.P2P
+	P2V      = core.P2V
+	V2V      = core.V2V
+	Loopback = core.Loopback
+)
+
+// Time and rate units (picosecond-resolution simulated time).
+type (
+	// Time is simulated time in picoseconds.
+	Time = units.Time
+	// BitRate is an offered-load rate in bits per second.
+	BitRate = units.BitRate
+)
+
+// Common constants re-exported for configuration.
+const (
+	Microsecond = units.Microsecond
+	Millisecond = units.Millisecond
+	Gbps        = units.Gbps
+	TenGigE     = units.TenGigE
+)
+
+// ErrChainTooLong reports a switch-specific VM-count limit (BESS's QEMU
+// incompatibility).
+var ErrChainTooLong = core.ErrChainTooLong
+
+// Run executes one measurement.
+func Run(cfg Config) (Result, error) { return core.Run(cfg) }
+
+// WindowPoint is one measurement window of a RunWindows series.
+type WindowPoint = core.WindowPoint
+
+// RunWindows measures cfg.Duration in n consecutive windows within a single
+// simulation, exposing time dynamics (Snabb's JIT warmup, instability
+// phases) that the aggregate hides.
+func RunWindows(cfg Config, n int) ([]WindowPoint, Result, error) { return core.RunWindows(cfg, n) }
+
+// Switches returns the seven evaluated switch names in the paper's order.
+func Switches() []string { return append([]string(nil), core.Switches...) }
+
+// SwitchInfo is the design-space taxonomy record for one switch (paper
+// Table 1, plus Table 2 tunings and Table 5 use cases).
+type SwitchInfo = switchdef.Info
+
+// Info returns the taxonomy record for a registered switch.
+func Info(name string) (SwitchInfo, error) { return switchdef.Lookup(name) }
+
+// Methodology: R⁺ estimation and latency ladders (§5.3).
+var Table3Loads = core.Table3Loads
+
+// NDR types: the RFC 2544 non-drop-rate binary search, provided as the
+// classical alternative the paper's footnote 3 argues against for software
+// switches.
+type (
+	// NDRResult is the outcome of a non-drop-rate search.
+	NDRResult = core.NDRResult
+	// NDROptions tunes the search.
+	NDROptions = core.NDROptions
+)
+
+// FindNDR runs the RFC 2544 binary search for cfg's scenario.
+func FindNDR(cfg Config, opts NDROptions) (NDRResult, error) { return core.FindNDR(cfg, opts) }
+
+// EstimateRPlus measures R⁺: the average throughput under saturating
+// input, in packets/second.
+func EstimateRPlus(cfg Config) (float64, error) { return core.EstimateRPlus(cfg) }
+
+// MeasureLatencyAt measures RTT with offered load load·R⁺.
+func MeasureLatencyAt(cfg Config, rPlusPPS, load float64) (LatencyPoint, error) {
+	return core.MeasureLatencyAt(cfg, rPlusPPS, load)
+}
+
+// LatencyProfile runs a load ladder (e.g. Table3Loads) for one scenario.
+func LatencyProfile(cfg Config, loads []float64) ([]LatencyPoint, error) {
+	return core.LatencyProfile(cfg, loads)
+}
+
+// Experiment suites regenerating the paper's figures and tables.
+type (
+	// Figure is a reproduced throughput figure.
+	Figure = core.Figure
+	// Figure1Point is one dot of the paper's opening scatter plot.
+	Figure1Point = core.Figure1Point
+	// ThroughputPoint is one bar of a throughput figure.
+	ThroughputPoint = core.ThroughputPoint
+	// Table3Cell is one (switch, scenario) latency group of Table 3.
+	Table3Cell = core.Table3Cell
+	// Table4Row is one switch's v2v RTT (Table 4).
+	Table4Row = core.Table4Row
+)
+
+// Run profiles.
+var (
+	// Quick shrinks simulation windows for demos and CI.
+	Quick = core.Quick
+	// Full is the profile behind EXPERIMENTS.md.
+	Full = core.Full
+)
+
+// Figure1 reproduces the scatter data of the paper's Fig. 1.
+func Figure1(o RunOpts) ([]Figure1Point, error) { return core.Figure1(o) }
+
+// Figure4a reproduces p2p throughput (Fig. 4a).
+func Figure4a(o RunOpts) (*Figure, error) { return core.Figure4a(o) }
+
+// Figure4b reproduces p2v throughput (Fig. 4b).
+func Figure4b(o RunOpts) (*Figure, error) { return core.Figure4b(o) }
+
+// Figure4c reproduces v2v throughput (Fig. 4c).
+func Figure4c(o RunOpts) (*Figure, error) { return core.Figure4c(o) }
+
+// Figure5 reproduces unidirectional loopback throughput (Fig. 5).
+func Figure5(o RunOpts) (*Figure, error) { return core.Figure5(o) }
+
+// Figure6 reproduces bidirectional loopback throughput (Fig. 6).
+func Figure6(o RunOpts) (*Figure, error) { return core.Figure6(o) }
+
+// Table3 reproduces the RTT latency table.
+func Table3(o RunOpts) ([]Table3Cell, error) { return core.Table3(o) }
+
+// Table4 reproduces the v2v latency table.
+func Table4(o RunOpts) ([]Table4Row, error) { return core.Table4(o) }
+
+// Renderers (text tables; also the source of EXPERIMENTS.md).
+func RenderFigure(w io.Writer, fig *Figure, compare bool) { core.RenderFigure(w, fig, compare) }
+func RenderFigure1(w io.Writer, pts []Figure1Point)       { core.RenderFigure1(w, pts) }
+func RenderTable1(w io.Writer)                            { core.RenderTable1(w) }
+func RenderTable2(w io.Writer)                            { core.RenderTable2(w) }
+func RenderTable3(w io.Writer, cells []Table3Cell, compare bool) {
+	core.RenderTable3(w, cells, compare)
+}
+func RenderTable4(w io.Writer, rows []Table4Row, compare bool) { core.RenderTable4(w, rows, compare) }
+func RenderTable5(w io.Writer)                                 { core.RenderTable5(w) }
+func RenderResult(w io.Writer, res Result)                     { core.RenderResult(w, res) }
+
+// CSV exports, for plotting with external tools.
+func WriteFigureCSV(w io.Writer, fig *Figure) error         { return core.WriteFigureCSV(w, fig) }
+func WriteFigure1CSV(w io.Writer, pts []Figure1Point) error { return core.WriteFigure1CSV(w, pts) }
+func WriteTable3CSV(w io.Writer, cells []Table3Cell) error  { return core.WriteTable3CSV(w, cells) }
+func WriteWindowsCSV(w io.Writer, pts []WindowPoint) error  { return core.WriteWindowsCSV(w, pts) }
+
+// Extension point: implement and register your own switch data plane, then
+// benchmark it with the same methodology (see examples/customswitch).
+type (
+	// Switch is the System Under Test contract.
+	Switch = switchdef.Switch
+	// DevPort is a device a switch data plane drives.
+	DevPort = switchdef.DevPort
+	// Env is what a switch factory receives from the testbed.
+	Env = switchdef.Env
+	// Meter accounts the simulated CPU cycles a data plane consumes.
+	Meter = cost.Meter
+	// Buf is a packet buffer.
+	Buf = pkt.Buf
+	// PortKind distinguishes physical, vhost-user, and ptnet attachments.
+	PortKind = switchdef.PortKind
+)
+
+// Port kinds.
+const (
+	PhysKind  = switchdef.PhysKind
+	VhostKind = switchdef.VhostKind
+	PtnetKind = switchdef.PtnetKind
+)
+
+// I/O modes for SwitchInfo.
+const (
+	PollMode      = switchdef.PollMode
+	InterruptMode = switchdef.InterruptMode
+)
+
+// Register adds a switch implementation to the registry under
+// info.Name; it then works with Run and the experiment suites.
+func Register(info SwitchInfo, factory func(Env) Switch) {
+	switchdef.Register(info, factory)
+}
+
+// RateForPPS converts a packet rate into the wire bit rate Config.Rate
+// expects.
+func RateForPPS(pps float64, frameLen int) BitRate {
+	return units.RateForPPS(pps, frameLen)
+}
