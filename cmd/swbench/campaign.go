@@ -1,0 +1,216 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	swbench "repro"
+)
+
+// newRunner builds the orchestrator the figure/table/all verbs route
+// their experiment grids through. workers<=0 uses every core; 1 is the
+// serial path.
+func newRunner(workers int, cacheDir string, progress bool) (swbench.Runner, error) {
+	opts := swbench.CampaignOptions{Workers: workers}
+	if cacheDir != "" {
+		cache, err := swbench.OpenResultCache(cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		opts.Cache = cache
+	}
+	if progress {
+		opts.Events = progressPrinter(os.Stderr)
+	}
+	return swbench.NewOrchestrator(context.Background(), opts), nil
+}
+
+// campaignCmd is the `swbench campaign` verb: run a named experiment
+// campaign on the worker pool, stream progress, log JSONL artifacts, and
+// exit non-zero if any cell failed.
+func campaignCmd(args []string) error {
+	if len(args) >= 1 && args[0] == "list" {
+		for _, name := range swbench.BuiltinCampaignNames() {
+			c, err := swbench.BuiltinCampaign(name, swbench.Quick)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-12s %3d cells\n", name, len(c.Specs))
+		}
+		return nil
+	}
+	if len(args) < 1 {
+		return fmt.Errorf("campaign needs a name (try: swbench campaign list)")
+	}
+	name := args[0]
+
+	fs := flag.NewFlagSet("campaign", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "short simulation windows")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
+	timeout := fs.Duration("timeout", 0, "per-cell wall-clock timeout (0 = unlimited)")
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory")
+	artifacts := fs.String("artifacts", "", "write a JSONL artifact log to this path")
+	resume := fs.Bool("resume", false, "append to an existing artifact log instead of truncating (pair with -cache-dir to skip measured cells)")
+	benchOut := fs.String("bench-out", "", "run serial+parallel+cached passes and write a benchmark summary JSON to this path")
+	quiet := fs.Bool("quiet", false, "suppress the live progress stream")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+
+	o := opts(*quick)
+	c, err := swbench.BuiltinCampaign(name, o)
+	if err != nil {
+		return err
+	}
+	if *benchOut != "" {
+		return benchCampaign(c, *quick, *workers, *cacheDir, *benchOut, !*quiet)
+	}
+
+	copts := swbench.CampaignOptions{Workers: *workers, Timeout: *timeout}
+	if *cacheDir != "" {
+		cache, err := swbench.OpenResultCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		copts.Cache = cache
+	}
+	if !*quiet {
+		copts.Events = progressPrinter(os.Stderr)
+	}
+	rep, err := swbench.NewOrchestrator(context.Background(), copts).Run(c)
+	if err != nil {
+		return err
+	}
+	if *artifacts != "" {
+		if err := writeArtifacts(*artifacts, rep, *resume); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("campaign %s: %d cells in %.2fs (%d cached, %d failed)\n",
+		rep.Name, len(rep.Outcomes), rep.Wall.Seconds(), rep.CacheHits, rep.Failed)
+	for _, out := range rep.Outcomes {
+		if out.Panicked {
+			fmt.Fprintf(os.Stderr, "--- cell %s panicked ---\n%v\n%s\n", out.Spec.ID, out.Err, out.Stack)
+		}
+	}
+	return rep.Err()
+}
+
+func writeArtifacts(path string, rep *swbench.CampaignReport, appendLog bool) error {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if appendLog {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := swbench.WriteCampaignArtifacts(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// benchSummary is the BENCH_campaign.json schema: the perf trajectory
+// record future changes compare against.
+type benchSummary struct {
+	Campaign        string  `json:"campaign"`
+	Quick           bool    `json:"quick"`
+	Cells           int     `json:"cells"`
+	Workers         int     `json:"workers"`
+	CPUs            int     `json:"cpus"`
+	GOOS            string  `json:"goos"`
+	GOARCH          string  `json:"goarch"`
+	SerialSeconds   float64 `json:"serial_seconds"`
+	ParallelSeconds float64 `json:"parallel_seconds"`
+	Speedup         float64 `json:"speedup"`
+	CachedSeconds   float64 `json:"cached_seconds"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	Failed          int     `json:"failed"`
+}
+
+// benchCampaign measures the orchestrator itself: the campaign once at
+// Workers=1 without a cache, once at the requested width filling a fresh
+// cache, and once more against the warm cache.
+func benchCampaign(c swbench.ExperimentCampaign, quick bool, workers int, cacheDir, outPath string, progress bool) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if cacheDir == "" {
+		dir, err := os.MkdirTemp("", "swbench-campaign-cache-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cacheDir = dir
+	}
+	cache, err := swbench.OpenResultCache(cacheDir)
+	if err != nil {
+		return err
+	}
+	var events func(swbench.CampaignEvent)
+	if progress {
+		events = progressPrinter(os.Stderr)
+	}
+	run := func(label string, opts swbench.CampaignOptions) (*swbench.CampaignReport, error) {
+		opts.Events = events
+		fmt.Fprintf(os.Stderr, "== %s pass (%d workers) ==\n", label, max(opts.Workers, 1))
+		rep, err := swbench.NewOrchestrator(context.Background(), opts).Run(c)
+		if err != nil {
+			return nil, err
+		}
+		return rep, nil
+	}
+
+	serial, err := run("serial", swbench.CampaignOptions{Workers: 1})
+	if err != nil {
+		return err
+	}
+	parallel, err := run("parallel", swbench.CampaignOptions{Workers: workers, Cache: cache})
+	if err != nil {
+		return err
+	}
+	cached, err := run("cached", swbench.CampaignOptions{Workers: workers, Cache: cache})
+	if err != nil {
+		return err
+	}
+
+	sum := benchSummary{
+		Campaign:        c.Name,
+		Quick:           quick,
+		Cells:           len(c.Specs),
+		Workers:         workers,
+		CPUs:            runtime.NumCPU(),
+		GOOS:            runtime.GOOS,
+		GOARCH:          runtime.GOARCH,
+		SerialSeconds:   roundMs(serial.Wall),
+		ParallelSeconds: roundMs(parallel.Wall),
+		CachedSeconds:   roundMs(cached.Wall),
+		Failed:          serial.Failed + parallel.Failed + cached.Failed,
+	}
+	if parallel.Wall > 0 {
+		sum.Speedup = float64(serial.Wall) / float64(parallel.Wall)
+	}
+	if n := len(cached.Outcomes); n > 0 {
+		sum.CacheHitRate = float64(cached.CacheHits) / float64(n)
+	}
+	blob, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s: %d cells  serial %.2fs  parallel(%d) %.2fs  speedup %.2fx  cached %.2fs (hit rate %.0f%%)\n",
+		c.Name, sum.Cells, sum.SerialSeconds, workers, sum.ParallelSeconds, sum.Speedup,
+		sum.CachedSeconds, 100*sum.CacheHitRate)
+	return nil
+}
+
+func roundMs(d time.Duration) float64 { return float64(d.Milliseconds()) / 1e3 }

@@ -7,9 +7,12 @@
 //	swbench run -switch vpp -scenario p2p [-size 64] [-bidir] [-chain N]
 //	            [-rate-gbps 5] [-latency] [-duration-ms 20]
 //	swbench rplus -switch vpp -scenario loopback -chain 2
-//	swbench figure 1|4a|4b|4c|5|6 [-quick] [-compare]
-//	swbench table 1|2|3|4|5 [-quick] [-compare]
-//	swbench all [-quick] [-compare]     # every figure and table
+//	swbench figure 1|4a|4b|4c|5|6 [-quick] [-compare] [-workers N]
+//	swbench table 1|2|3|4|5 [-quick] [-compare] [-workers N]
+//	swbench all [-quick] [-compare] [-workers N]   # every figure and table
+//	swbench campaign list
+//	swbench campaign <name> [-quick] [-workers N] [-timeout D]
+//	         [-cache-dir P] [-artifacts F] [-resume] [-bench-out F]
 package main
 
 import (
@@ -28,9 +31,10 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  swbench rplus -switch vpp -scenario p2p")
 	fmt.Fprintln(os.Stderr, "  swbench ndr -switch vpp -scenario p2p [-loss-tolerance N]")
 	fmt.Fprintln(os.Stderr, "  swbench windows -switch snabb -n 10      # windowed time series")
-	fmt.Fprintln(os.Stderr, "  swbench figure 1|4a|4b|4c|5|6 [-quick] [-compare]")
-	fmt.Fprintln(os.Stderr, "  swbench table 1|2|3|4|5 [-quick] [-compare]")
-	fmt.Fprintln(os.Stderr, "  swbench all [-quick] [-compare]")
+	fmt.Fprintln(os.Stderr, "  swbench figure 1|4a|4b|4c|5|6 [-quick] [-compare] [-workers N]")
+	fmt.Fprintln(os.Stderr, "  swbench table 1|2|3|4|5 [-quick] [-compare] [-workers N]")
+	fmt.Fprintln(os.Stderr, "  swbench all [-quick] [-compare] [-workers N]")
+	fmt.Fprintln(os.Stderr, "  swbench campaign list | <name> [-quick] [-workers N] [-timeout D] [-cache-dir P] [-artifacts F] [-resume] [-bench-out F]")
 	os.Exit(2)
 }
 
@@ -56,6 +60,8 @@ func main() {
 		err = tableCmd(os.Args[2:])
 	case "all":
 		err = allCmd(os.Args[2:])
+	case "campaign":
+		err = campaignCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -142,10 +148,11 @@ func rplusCmd(args []string) error {
 	return nil
 }
 
-func suiteFlags(fs *flag.FlagSet) (*bool, *bool) {
+func suiteFlags(fs *flag.FlagSet) (*bool, *bool, *int) {
 	quick := fs.Bool("quick", false, "short simulation windows")
 	compare := fs.Bool("compare", false, "show the paper's values alongside")
-	return quick, compare
+	workers := fs.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
+	return quick, compare, workers
 }
 
 func opts(quick bool) swbench.RunOpts {
@@ -161,25 +168,29 @@ func figureCmd(args []string) error {
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
-	quick, compare := suiteFlags(fs)
+	quick, compare, workers := suiteFlags(fs)
 	csvPath := fs.String("csv", "", "also write the figure data as CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	if *csvPath != "" {
-		return figureCSV(id, opts(*quick), *csvPath)
+	r, err := newRunner(*workers, "", false)
+	if err != nil {
+		return err
 	}
-	return renderFigure(id, opts(*quick), *compare)
+	if *csvPath != "" {
+		return figureCSV(r, id, opts(*quick), *csvPath)
+	}
+	return renderFigure(r, id, opts(*quick), *compare)
 }
 
-func figureCSV(id string, o swbench.RunOpts, path string) error {
+func figureCSV(r swbench.Runner, id string, o swbench.RunOpts, path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
 	if id == "1" {
-		pts, err := swbench.Figure1(o)
+		pts, err := swbench.Figure1On(r, o)
 		if err != nil {
 			return err
 		}
@@ -188,15 +199,15 @@ func figureCSV(id string, o swbench.RunOpts, path string) error {
 	var fig *swbench.Figure
 	switch id {
 	case "4a":
-		fig, err = swbench.Figure4a(o)
+		fig, err = swbench.Figure4aOn(r, o)
 	case "4b":
-		fig, err = swbench.Figure4b(o)
+		fig, err = swbench.Figure4bOn(r, o)
 	case "4c":
-		fig, err = swbench.Figure4c(o)
+		fig, err = swbench.Figure4cOn(r, o)
 	case "5":
-		fig, err = swbench.Figure5(o)
+		fig, err = swbench.Figure5On(r, o)
 	case "6":
-		fig, err = swbench.Figure6(o)
+		fig, err = swbench.Figure6On(r, o)
 	default:
 		return fmt.Errorf("unknown figure %q", id)
 	}
@@ -236,10 +247,10 @@ func windowsCmd(args []string) error {
 	return nil
 }
 
-func renderFigure(id string, o swbench.RunOpts, compare bool) error {
+func renderFigure(r swbench.Runner, id string, o swbench.RunOpts, compare bool) error {
 	switch id {
 	case "1":
-		pts, err := swbench.Figure1(o)
+		pts, err := swbench.Figure1On(r, o)
 		if err != nil {
 			return err
 		}
@@ -250,15 +261,15 @@ func renderFigure(id string, o swbench.RunOpts, compare bool) error {
 		var err error
 		switch id {
 		case "4a":
-			fig, err = swbench.Figure4a(o)
+			fig, err = swbench.Figure4aOn(r, o)
 		case "4b":
-			fig, err = swbench.Figure4b(o)
+			fig, err = swbench.Figure4bOn(r, o)
 		case "4c":
-			fig, err = swbench.Figure4c(o)
+			fig, err = swbench.Figure4cOn(r, o)
 		case "5":
-			fig, err = swbench.Figure5(o)
+			fig, err = swbench.Figure5On(r, o)
 		case "6":
-			fig, err = swbench.Figure6(o)
+			fig, err = swbench.Figure6On(r, o)
 		}
 		if err != nil {
 			return err
@@ -275,27 +286,31 @@ func tableCmd(args []string) error {
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
-	quick, compare := suiteFlags(fs)
+	quick, compare, workers := suiteFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	return renderTable(id, opts(*quick), *compare)
+	r, err := newRunner(*workers, "", false)
+	if err != nil {
+		return err
+	}
+	return renderTable(r, id, opts(*quick), *compare)
 }
 
-func renderTable(id string, o swbench.RunOpts, compare bool) error {
+func renderTable(r swbench.Runner, id string, o swbench.RunOpts, compare bool) error {
 	switch id {
 	case "1":
 		swbench.RenderTable1(os.Stdout)
 	case "2":
 		swbench.RenderTable2(os.Stdout)
 	case "3":
-		cells, err := swbench.Table3(o)
+		cells, err := swbench.Table3On(r, o)
 		if err != nil {
 			return err
 		}
 		swbench.RenderTable3(os.Stdout, cells, compare)
 	case "4":
-		rows, err := swbench.Table4(o)
+		rows, err := swbench.Table4On(r, o)
 		if err != nil {
 			return err
 		}
@@ -310,25 +325,31 @@ func renderTable(id string, o swbench.RunOpts, compare bool) error {
 
 func allCmd(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
-	quick, compare := suiteFlags(fs)
+	quick, compare, workers := suiteFlags(fs)
+	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory")
+	progress := fs.Bool("progress", false, "stream per-cell progress to stderr")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r, err := newRunner(*workers, *cacheDir, *progress)
+	if err != nil {
 		return err
 	}
 	o := opts(*quick)
 	for _, id := range []string{"1", "2"} {
-		if err := renderTable(id, o, *compare); err != nil {
+		if err := renderTable(r, id, o, *compare); err != nil {
 			return err
 		}
 		fmt.Println()
 	}
 	for _, id := range []string{"1", "4a", "4b", "4c", "5", "6"} {
-		if err := renderFigure(id, o, *compare); err != nil {
+		if err := renderFigure(r, id, o, *compare); err != nil {
 			return err
 		}
 		fmt.Println()
 	}
 	for _, id := range []string{"3", "4", "5"} {
-		if err := renderTable(id, o, *compare); err != nil {
+		if err := renderTable(r, id, o, *compare); err != nil {
 			return err
 		}
 		fmt.Println()

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	swbench "repro"
+)
+
+// progressPrinter returns a live campaign progress consumer: one line per
+// completed cell on w, with throughput and an ETA once the first cell
+// lands. Event callbacks are serialized by the orchestrator.
+func progressPrinter(w io.Writer) func(swbench.CampaignEvent) {
+	return func(ev swbench.CampaignEvent) {
+		switch ev.Type {
+		case swbench.CampaignCellStarted:
+			return // one line per completion keeps logs readable
+		case swbench.CampaignCellFailed:
+			fmt.Fprintf(w, "[%*d/%d] %-44s FAILED: %v\n",
+				width(ev.Total), ev.Done, ev.Total, ev.ID, ev.Err)
+			return
+		}
+		status := "ok"
+		if ev.Type == swbench.CampaignCellCached {
+			status = "cached"
+		}
+		line := fmt.Sprintf("[%*d/%d] %-44s %-6s %6.2fs",
+			width(ev.Total), ev.Done, ev.Total, ev.ID, status, ev.Wall.Seconds())
+		if ev.ETA > 0 {
+			line += fmt.Sprintf("  %5.1f cells/s  eta %s", ev.Rate, round(ev.ETA))
+		}
+		fmt.Fprintln(w, line)
+	}
+}
+
+func width(total int) int { return len(fmt.Sprint(total)) }
+
+func round(d time.Duration) time.Duration { return d.Round(100 * time.Millisecond) }

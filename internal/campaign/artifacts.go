@@ -1,0 +1,84 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+	"repro/internal/stats"
+)
+
+// ArtifactRecord is one JSONL line of a campaign's artifact log: the full
+// provenance and measurements of one cell. Records are written in spec
+// order, so two runs of the same campaign produce identical logs modulo
+// the timing fields (wall_ms, campaign_wall_ms, cells_per_sec).
+type ArtifactRecord struct {
+	Campaign string `json:"campaign"`
+	Index    int    `json:"index"`
+	ID       string `json:"id"`
+	Version  string `json:"cost_model_version"`
+
+	Config core.Config `json:"config"`
+
+	Cached   bool   `json:"cached,omitempty"`
+	Err      string `json:"err,omitempty"`
+	Panicked bool   `json:"panicked,omitempty"`
+	Stack    string `json:"stack,omitempty"`
+
+	Gbps        float64       `json:"gbps"`
+	Mpps        float64       `json:"mpps"`
+	Drops       int64         `json:"drops"`
+	Steps       uint64        `json:"steps"`
+	SUTBusyFrac float64       `json:"sut_busy_frac"`
+	Latency     stats.Summary `json:"latency"`
+
+	// WallMs is host time — a timing field, excluded from determinism
+	// comparisons.
+	WallMs float64 `json:"wall_ms"`
+}
+
+// TimingFields lists the ArtifactRecord JSON keys that vary between runs
+// of an identical campaign; determinism checks strip them.
+var TimingFields = []string{"wall_ms"}
+
+// Record converts one outcome into its artifact line.
+func Record(campaignName string, index int, out Outcome) ArtifactRecord {
+	rec := ArtifactRecord{
+		Campaign: campaignName,
+		Index:    index,
+		ID:       out.Spec.ID,
+		Version:  cost.ModelVersion,
+		Config:   out.Spec.Cfg.Canonical(),
+		Cached:   out.Cached,
+		Panicked: out.Panicked,
+		Stack:    out.Stack,
+		WallMs:   float64(out.Wall.Microseconds()) / 1e3,
+	}
+	if out.Err != nil {
+		rec.Err = out.Err.Error()
+	} else {
+		rec.Gbps = out.Result.Gbps
+		rec.Mpps = out.Result.Mpps
+		rec.Drops = out.Result.Drops
+		rec.Steps = out.Result.Steps
+		rec.SUTBusyFrac = out.Result.SUTBusyFrac
+		rec.Latency = out.Result.Latency
+	}
+	return rec
+}
+
+// WriteArtifacts writes the report's JSONL artifact log to w, one record
+// per cell in spec order.
+func WriteArtifacts(w io.Writer, rep *Report) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, out := range rep.Outcomes {
+		if err := enc.Encode(Record(rep.Name, i, out)); err != nil {
+			return fmt.Errorf("campaign: writing artifact record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,98 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// builtinDef builds one named campaign's spec list.
+type builtinDef struct {
+	desc  string
+	specs func(o core.RunOpts) ([]Spec, error)
+}
+
+func figureCampaign(id string) func(o core.RunOpts) ([]Spec, error) {
+	return func(o core.RunOpts) ([]Spec, error) {
+		cfgs, err := core.FigureSpecs(id, o)
+		if err != nil {
+			return nil, err
+		}
+		return prefixed("fig"+id, cfgs), nil
+	}
+}
+
+func prefixed(prefix string, cfgs []core.Config) []Spec {
+	specs := make([]Spec, len(cfgs))
+	for i, cfg := range cfgs {
+		specs[i] = Spec{ID: prefix + "/" + AutoID(cfg), Cfg: cfg}
+	}
+	return specs
+}
+
+var builtins = map[string]builtinDef{
+	"fig4a": {"p2p throughput grid (Fig. 4a)", figureCampaign("4a")},
+	"fig4b": {"p2v throughput grid (Fig. 4b)", figureCampaign("4b")},
+	"fig4c": {"v2v throughput grid (Fig. 4c)", figureCampaign("4c")},
+	"fig5":  {"unidirectional loopback chain sweep (Fig. 5)", figureCampaign("5")},
+	"fig6":  {"bidirectional loopback chain sweep (Fig. 6)", figureCampaign("6")},
+	"table4": {"v2v software-timestamped latency (Table 4)", func(o core.RunOpts) ([]Spec, error) {
+		return prefixed("table4", core.Table4Specs(o)), nil
+	}},
+	"rplus": {"saturating R+ grid: every switch x scenario", func(o core.RunOpts) ([]Spec, error) {
+		var cfgs []core.Config
+		for _, name := range core.Switches {
+			for _, scn := range []core.ScenarioKind{core.P2P, core.P2V, core.V2V} {
+				cfgs = append(cfgs, core.RPlusConfig(o.Apply(core.Config{Switch: name, Scenario: scn})))
+			}
+			for _, chain := range core.Chains {
+				cfgs = append(cfgs, core.RPlusConfig(o.Apply(core.Config{
+					Switch: name, Scenario: core.Loopback, Chain: chain,
+				})))
+			}
+		}
+		return prefixed("rplus", cfgs), nil
+	}},
+	"throughput": {"every throughput figure grid (Figs. 4a-c, 5, 6)", func(o core.RunOpts) ([]Spec, error) {
+		var specs []Spec
+		for _, id := range []string{"4a", "4b", "4c", "5", "6"} {
+			s, err := figureCampaign(id)(o)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, s...)
+		}
+		return specs, nil
+	}},
+}
+
+// Builtin returns the named campaign with o applied to every spec.
+func Builtin(name string, o core.RunOpts) (Campaign, error) {
+	def, ok := builtins[name]
+	if !ok {
+		return Campaign{}, fmt.Errorf("campaign: unknown campaign %q (have %s)",
+			name, strings.Join(BuiltinNames(), ", "))
+	}
+	specs, err := def.specs(o)
+	if err != nil {
+		return Campaign{}, err
+	}
+	return Campaign{Name: name, Specs: specs}, nil
+}
+
+// BuiltinNames lists the registered campaign names, sorted.
+func BuiltinNames() []string {
+	names := make([]string, 0, len(builtins))
+	for n := range builtins {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// BuiltinDescription returns the one-line description of a campaign name.
+func BuiltinDescription(name string) string {
+	return builtins[name].desc
+}

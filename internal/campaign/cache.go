@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// Cache is a content-addressed on-disk result cache. The key is a SHA-256
+// over the canonicalized Config (defaults applied, stable JSON field
+// order) plus the cost-model version, so any config change — or a
+// recalibration bump of cost.ModelVersion — misses and re-measures.
+// Entries are self-describing JSON files; a corrupted or truncated entry
+// reads as a miss and is overwritten by the recomputed result, never a
+// fatal error.
+type Cache struct {
+	dir     string
+	version string
+}
+
+// OpenCache opens (creating if needed) a cache directory.
+func OpenCache(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("campaign: opening cache: %w", err)
+	}
+	return &Cache{dir: dir, version: cost.ModelVersion}, nil
+}
+
+// Dir returns the cache directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// entry is the on-disk format. Key and Version are stored redundantly so
+// an entry validates itself on read.
+type entry struct {
+	Key     string      `json:"key"`
+	Version string      `json:"version"`
+	Config  core.Config `json:"config"`
+	Result  core.Result `json:"result"`
+}
+
+// Key returns the content address of cfg under the current cost model.
+func (c *Cache) Key(cfg core.Config) string {
+	blob, err := json.Marshal(cfg.Canonical())
+	if err != nil {
+		// Config is a plain value struct; Marshal cannot fail.
+		panic(fmt.Sprintf("campaign: marshaling config: %v", err))
+	}
+	h := sha256.New()
+	h.Write([]byte(c.version))
+	h.Write([]byte{0})
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".json")
+}
+
+// Get returns the cached result for cfg, if present and intact.
+func (c *Cache) Get(cfg core.Config) (core.Result, bool) {
+	key := c.Key(cfg)
+	blob, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return core.Result{}, false
+	}
+	var e entry
+	if err := json.Unmarshal(blob, &e); err != nil {
+		return core.Result{}, false // corrupted: recompute
+	}
+	if e.Key != key || e.Version != c.version {
+		return core.Result{}, false // stale or mangled entry
+	}
+	return e.Result, true
+}
+
+// Put stores a result. Write errors are swallowed: a cache that cannot
+// persist degrades to recomputation, it does not fail the campaign.
+func (c *Cache) Put(cfg core.Config, res core.Result) {
+	key := c.Key(cfg)
+	blob, err := json.Marshal(entry{
+		Key: key, Version: c.version,
+		Config: cfg.Canonical(), Result: res,
+	})
+	if err != nil {
+		return
+	}
+	path := c.path(key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	// Write-rename so concurrent workers and interrupted runs never leave
+	// a half-written entry at the final path.
+	tmp, err := os.CreateTemp(filepath.Dir(path), "put-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(blob)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// Len counts intact entries (test and stats helper).
+func (c *Cache) Len() int {
+	n := 0
+	filepath.Walk(c.dir, func(path string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -1,0 +1,187 @@
+package campaign
+
+import (
+	"context"
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+func TestCacheHitOnSameConfig(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg("vpp", core.P2P)
+	if _, ok := cache.Get(cfg); ok {
+		t.Fatal("empty cache hit")
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Put(cfg, res)
+	got, ok := cache.Get(cfg)
+	if !ok {
+		t.Fatal("stored entry missed")
+	}
+	if !reflect.DeepEqual(got, res) {
+		t.Fatalf("cached result differs: %+v vs %+v", got, res)
+	}
+	// A config spelled differently but canonically equal hits too: the
+	// explicit defaults match cfg's implied ones.
+	explicit := cfg
+	explicit.FrameLen = 64
+	explicit.Chain = 1
+	explicit.Seed = 1
+	explicit.SUTCores = 1
+	if _, ok := cache.Get(explicit); !ok {
+		t.Fatal("canonically-equal config missed")
+	}
+}
+
+func TestCacheMissOnAnyFieldChange(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg("vpp", core.P2P)
+	cache.Put(cfg, core.Result{Gbps: 1})
+
+	variants := []core.Config{}
+	v := cfg
+	v.Switch = "ovs"
+	variants = append(variants, v)
+	v = cfg
+	v.Scenario = core.V2V
+	variants = append(variants, v)
+	v = cfg
+	v.FrameLen = 256
+	variants = append(variants, v)
+	v = cfg
+	v.Bidir = true
+	variants = append(variants, v)
+	v = cfg
+	v.Rate = 5 * units.Gbps
+	variants = append(variants, v)
+	v = cfg
+	v.Seed = 7
+	variants = append(variants, v)
+	v = cfg
+	v.Duration = units.Millisecond
+	variants = append(variants, v)
+	v = cfg
+	v.Flows = 16
+	variants = append(variants, v)
+	for i, vc := range variants {
+		if _, ok := cache.Get(vc); ok {
+			t.Fatalf("variant %d unexpectedly hit (key collision with base?)", i)
+		}
+	}
+}
+
+func TestCacheMissOnCostModelVersionBump(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg("vpp", core.P2P)
+	cache.Put(cfg, core.Result{Gbps: 1})
+	if _, ok := cache.Get(cfg); !ok {
+		t.Fatal("baseline miss")
+	}
+	// A recalibrated cost model must invalidate every entry.
+	bumped := &Cache{dir: dir, version: "conext19-cal2"}
+	if _, ok := bumped.Get(cfg); ok {
+		t.Fatal("version bump did not invalidate the cache")
+	}
+}
+
+func TestCacheCorruptedEntryRecomputed(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickCfg("vpp", core.P2P)
+	cache.Put(cfg, core.Result{Gbps: 42})
+	path := cache.path(cache.Key(cfg))
+
+	for _, garbage := range []string{"", "{", "not json at all", `{"key":"wrong","version":"x"}`} {
+		if err := os.WriteFile(path, []byte(garbage), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := cache.Get(cfg); ok {
+			t.Fatalf("corrupted entry %q served as a hit", garbage)
+		}
+	}
+
+	// A campaign over the corrupted cache recomputes and heals it — no
+	// fatal error.
+	o := New(context.Background(), Options{Workers: 2, Cache: cache})
+	rep, err := o.Run(Campaign{Name: "heal", Specs: []Spec{{Cfg: cfg}}})
+	if err != nil || rep.Failed != 0 {
+		t.Fatalf("campaign over corrupted cache: %v / %v", err, rep.Err())
+	}
+	if rep.CacheHits != 0 {
+		t.Fatal("corrupted entry counted as a hit")
+	}
+	if got, ok := cache.Get(cfg); !ok || got.Gbps <= 0 {
+		t.Fatalf("cache not healed: ok=%v res=%+v", ok, got)
+	}
+}
+
+func TestCampaignCacheRoundTrip(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := smallCampaign("cached")
+	cold := New(context.Background(), Options{Workers: 4, Cache: cache})
+	rep1, err := cold.Run(c)
+	if err != nil || rep1.Failed != 0 {
+		t.Fatalf("cold run: %v / %v", err, rep1.Err())
+	}
+	if rep1.CacheHits != 0 {
+		t.Fatalf("cold run hit the cache %d times", rep1.CacheHits)
+	}
+	warm := New(context.Background(), Options{Workers: 4, Cache: cache})
+	rep2, err := warm.Run(c)
+	if err != nil || rep2.Failed != 0 {
+		t.Fatalf("warm run: %v / %v", err, rep2.Err())
+	}
+	if rep2.CacheHits != len(c.Specs) {
+		t.Fatalf("warm hits = %d, want %d", rep2.CacheHits, len(c.Specs))
+	}
+	for i := range rep1.Outcomes {
+		if !reflect.DeepEqual(rep1.Outcomes[i].Result, rep2.Outcomes[i].Result) {
+			t.Fatalf("cell %d: cached result differs from measured", i)
+		}
+	}
+}
+
+// TestLadderReusesSaturatingRun verifies the EstimateRPlus →
+// MeasureLatencyAt ladder shares one saturating simulation through the
+// cache: profiling two load levels runs the R+ cell once.
+func TestLadderReusesSaturatingRun(t *testing.T) {
+	cache, err := OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := New(context.Background(), Options{Workers: 2, Cache: cache})
+	cfg := quickCfg("bess", core.P2P)
+
+	sat := core.RPlusConfig(cfg)
+	outs := o.RunAll([]core.Config{sat})
+	if outs[0].Err != nil {
+		t.Fatal(outs[0].Err)
+	}
+	// The ladder's own saturating re-run must now be a hit.
+	rep, err := o.Run(Campaign{Name: "ladder", Specs: []Spec{{Cfg: sat}}})
+	if err != nil || rep.CacheHits != 1 {
+		t.Fatalf("saturating run not reused: err=%v hits=%d", err, rep.CacheHits)
+	}
+}

@@ -1,0 +1,226 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/units"
+)
+
+// quickCfg is a sub-millisecond measurement so pool tests stay fast.
+func quickCfg(name string, scn core.ScenarioKind) core.Config {
+	return core.Config{
+		Switch: name, Scenario: scn,
+		Duration: 500 * units.Microsecond,
+		Warmup:   200 * units.Microsecond,
+	}
+}
+
+// smallCampaign mixes switches and scenarios across 8 cells.
+func smallCampaign(name string) Campaign {
+	var specs []Spec
+	for _, sw := range []string{"vpp", "ovs", "bess", "vale"} {
+		specs = append(specs, Spec{Cfg: quickCfg(sw, core.P2P)})
+		specs = append(specs, Spec{Cfg: quickCfg(sw, core.V2V)})
+	}
+	return Campaign{Name: name, Specs: specs}
+}
+
+func TestCampaignRunsAllCells(t *testing.T) {
+	o := New(context.Background(), Options{Workers: 4})
+	rep, err := o.Run(smallCampaign("small"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("failed = %d: %v", rep.Failed, rep.Err())
+	}
+	if len(rep.Outcomes) != 8 {
+		t.Fatalf("outcomes = %d", len(rep.Outcomes))
+	}
+	for i, out := range rep.Outcomes {
+		if out.Err != nil {
+			t.Fatalf("cell %d (%s): %v", i, out.Spec.ID, out.Err)
+		}
+		if out.Result.Gbps <= 0 {
+			t.Fatalf("cell %d (%s): no traffic", i, out.Spec.ID)
+		}
+		if out.Spec.ID == "" {
+			t.Fatalf("cell %d: empty auto ID", i)
+		}
+	}
+}
+
+// TestPanicIsolation is the acceptance scenario: one artificially
+// panicking cell fails with a captured stack, every other cell succeeds,
+// and the campaign reports a non-nil error (non-zero exit in the CLI).
+func TestPanicIsolation(t *testing.T) {
+	c := smallCampaign("panic")
+	c.Specs = append(c.Specs, Spec{ID: "boom", Cfg: quickCfg("snabb", core.P2P)})
+	o := New(context.Background(), Options{Workers: 4})
+	o.run = func(cfg core.Config) (core.Result, error) {
+		if cfg.Switch == "snabb" {
+			panic("simulated diverging cell")
+		}
+		return core.Run(cfg)
+	}
+	rep, err := o.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("failed = %d, want 1", rep.Failed)
+	}
+	boom := rep.Outcomes[len(rep.Outcomes)-1]
+	if !boom.Panicked || !errors.Is(boom.Err, ErrCellPanicked) {
+		t.Fatalf("panicking cell outcome: %+v", boom)
+	}
+	if !strings.Contains(boom.Err.Error(), "simulated diverging cell") {
+		t.Fatalf("panic message lost: %v", boom.Err)
+	}
+	if !strings.Contains(boom.Stack, "goroutine") {
+		t.Fatalf("no stack captured: %q", boom.Stack)
+	}
+	for _, out := range rep.Outcomes[:len(rep.Outcomes)-1] {
+		if out.Err != nil {
+			t.Fatalf("healthy cell %s infected: %v", out.Spec.ID, out.Err)
+		}
+	}
+	if rep.Err() == nil || !strings.Contains(rep.Err().Error(), "boom") {
+		t.Fatalf("report error = %v", rep.Err())
+	}
+}
+
+func TestCellTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	stall := func(cfg core.Config) (core.Result, error) {
+		if cfg.Switch == "t4p4s" {
+			<-release // stall until test teardown
+			return core.Result{}, nil
+		}
+		return core.Run(cfg)
+	}
+
+	// The timeout must be generous enough that healthy cells always beat
+	// it, even race-instrumented on a loaded single-core host: only the
+	// artificially stuck cell may trip it.
+	c := Campaign{Name: "timeout", Specs: []Spec{
+		{Cfg: quickCfg("vpp", core.P2P)},
+		{Cfg: quickCfg("ovs", core.P2P)},
+		{ID: "stuck", Cfg: quickCfg("t4p4s", core.P2P)},
+	}}
+	o := New(context.Background(), Options{Workers: 2, Timeout: 3 * time.Second})
+	o.run = stall
+	rep, err := o.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stuck := rep.Outcomes[len(rep.Outcomes)-1]
+	if !errors.Is(stuck.Err, ErrCellTimeout) {
+		t.Fatalf("stuck cell err = %v", stuck.Err)
+	}
+	if rep.Failed != 1 {
+		t.Fatalf("failed = %d: %v", rep.Failed, rep.Err())
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	c := smallCampaign("cancel")
+	o := New(ctx, Options{Workers: 1})
+	o.run = func(cfg core.Config) (core.Result, error) {
+		once.Do(cancel) // cancel as soon as the first cell runs
+		return core.Run(cfg)
+	}
+	rep, err := o.Run(c)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	var canceled int
+	for _, out := range rep.Outcomes {
+		if errors.Is(out.Err, context.Canceled) {
+			canceled++
+		}
+	}
+	if canceled == 0 {
+		t.Fatal("no cell recorded the cancellation")
+	}
+}
+
+func TestEventsStream(t *testing.T) {
+	var mu sync.Mutex
+	counts := map[EventType]int{}
+	var lastDone int
+	o := New(context.Background(), Options{
+		Workers: 2,
+		Events: func(ev Event) {
+			mu.Lock()
+			defer mu.Unlock()
+			counts[ev.Type]++
+			if ev.Total != 8 {
+				t.Errorf("event total = %d", ev.Total)
+			}
+			lastDone = ev.Done
+		},
+	})
+	rep, err := o.Run(smallCampaign("events"))
+	if err != nil || rep.Failed != 0 {
+		t.Fatalf("run: %v / %v", err, rep.Err())
+	}
+	if counts[EventStarted] != 8 || counts[EventFinished] != 8 {
+		t.Fatalf("event counts = %v", counts)
+	}
+	if lastDone != 8 {
+		t.Fatalf("final done = %d", lastDone)
+	}
+}
+
+func TestRunAllImplementsRunner(t *testing.T) {
+	var _ core.Runner = (*Orchestrator)(nil)
+	o := New(context.Background(), Options{Workers: 4})
+	specs := []core.Config{quickCfg("vpp", core.P2P), quickCfg("ovs", core.P2P)}
+	outs := o.RunAll(specs)
+	if len(outs) != 2 {
+		t.Fatalf("outs = %d", len(outs))
+	}
+	for i, out := range outs {
+		if out.Err != nil || out.Result.Gbps <= 0 {
+			t.Fatalf("spec %d: %+v", i, out)
+		}
+	}
+}
+
+func TestBuiltinCampaigns(t *testing.T) {
+	for _, name := range BuiltinNames() {
+		c, err := Builtin(name, core.Quick)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(c.Specs) == 0 {
+			t.Fatalf("%s: empty campaign", name)
+		}
+		seen := map[string]bool{}
+		for _, s := range c.Specs {
+			if s.ID == "" {
+				t.Fatalf("%s: spec without ID", name)
+			}
+			if seen[s.ID] {
+				t.Fatalf("%s: duplicate spec ID %s", name, s.ID)
+			}
+			seen[s.ID] = true
+		}
+		if BuiltinDescription(name) == "" {
+			t.Fatalf("%s: no description", name)
+		}
+	}
+	if _, err := Builtin("nope", core.Quick); err == nil {
+		t.Fatal("unknown campaign resolved")
+	}
+}

@@ -11,20 +11,34 @@ import (
 // on the order of a thousand RTT samples.
 const DefaultProbeEvery = 20 * units.Microsecond
 
-// EstimateRPlus measures R⁺ — the paper's maximal forwarding rate, defined
-// (§5.3, following Linguaglossa et al.) as the average throughput achieved
-// under saturating input — in packets/second for the first direction.
-func EstimateRPlus(cfg Config) (float64, error) {
+// RPlusConfig returns the saturating, probe-free variant of cfg that an R⁺
+// estimation runs. Exposing it lets batch orchestrators address the
+// saturating run in their result cache, so an EstimateRPlus →
+// MeasureLatencyAt ladder reuses one simulation.
+func RPlusConfig(cfg Config) Config {
 	cfg.Rate = 0
 	cfg.ProbeEvery = 0
-	res, err := Run(cfg)
-	if err != nil {
-		return 0, err
-	}
+	return cfg
+}
+
+// rPlusFromResult extracts R⁺ (first-direction packets/second) from a
+// saturating run's result.
+func rPlusFromResult(cfg Config, res Result) (float64, error) {
 	if len(res.Dirs) == 0 || res.Dirs[0].Mpps == 0 {
 		return 0, fmt.Errorf("core: no traffic delivered estimating R+ for %s/%v", cfg.Switch, cfg.Scenario)
 	}
 	return res.Dirs[0].Mpps * 1e6, nil
+}
+
+// EstimateRPlus measures R⁺ — the paper's maximal forwarding rate, defined
+// (§5.3, following Linguaglossa et al.) as the average throughput achieved
+// under saturating input — in packets/second for the first direction.
+func EstimateRPlus(cfg Config) (float64, error) {
+	res, err := Run(RPlusConfig(cfg))
+	if err != nil {
+		return 0, err
+	}
+	return rPlusFromResult(cfg, res)
 }
 
 // LatencyPoint is one row cell of the paper's Table 3: mean RTT at a load
@@ -35,13 +49,19 @@ type LatencyPoint struct {
 	Summary stats.Summary
 }
 
-// MeasureLatencyAt measures RTT with offered load load·R⁺.
-func MeasureLatencyAt(cfg Config, rPlusPPS, load float64) (LatencyPoint, error) {
+// LatencyConfig returns the rate-controlled, probe-injecting variant of
+// cfg that measures RTT at load·R⁺.
+func LatencyConfig(cfg Config, rPlusPPS, load float64) Config {
 	cfg.Rate = units.RateForPPS(rPlusPPS*load, cfg.withDefaults().FrameLen)
 	if cfg.ProbeEvery == 0 {
 		cfg.ProbeEvery = DefaultProbeEvery
 	}
-	res, err := Run(cfg)
+	return cfg
+}
+
+// MeasureLatencyAt measures RTT with offered load load·R⁺.
+func MeasureLatencyAt(cfg Config, rPlusPPS, load float64) (LatencyPoint, error) {
+	res, err := Run(LatencyConfig(cfg, rPlusPPS, load))
 	if err != nil {
 		return LatencyPoint{}, err
 	}

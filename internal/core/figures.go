@@ -41,6 +41,9 @@ func (o RunOpts) apply(cfg Config) Config {
 	return cfg
 }
 
+// Apply merges the options into a config, exported for campaign builders.
+func (o RunOpts) Apply(cfg Config) Config { return o.apply(cfg) }
+
 // ThroughputPoint is one bar of a throughput figure.
 type ThroughputPoint struct {
 	Switch   string
@@ -63,77 +66,118 @@ type Figure struct {
 	Pts      []ThroughputPoint
 }
 
-func throughputFigure(id, title string, scn ScenarioKind, chains []int, dirs []bool, o RunOpts) (*Figure, error) {
-	fig := &Figure{ID: id, Title: title, Scenario: scn}
+// throughputSpecs enumerates the measurement grid of one throughput figure
+// in the paper's rendering order (chain, direction, frame size, switch).
+func throughputSpecs(scn ScenarioKind, chains []int, dirs []bool, o RunOpts) []Config {
+	var specs []Config
 	for _, chain := range chains {
 		for _, bidir := range dirs {
 			for _, size := range FrameSizes {
 				for _, name := range Switches {
-					pt, err := throughputPoint(o, Config{
+					specs = append(specs, o.apply(Config{
 						Switch: name, Scenario: scn, Chain: chain,
 						FrameLen: size, Bidir: bidir,
-					})
-					if err != nil {
-						return nil, err
-					}
-					fig.Pts = append(fig.Pts, pt)
+					}))
 				}
 			}
 		}
+	}
+	return specs
+}
+
+func throughputFigureOn(r Runner, id, title string, scn ScenarioKind, chains []int, dirs []bool, o RunOpts) (*Figure, error) {
+	fig := &Figure{ID: id, Title: title, Scenario: scn}
+	specs := throughputSpecs(scn, chains, dirs, o)
+	outs := r.RunAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	for i, cfg := range specs {
+		info, err := switchdef.Lookup(cfg.Switch)
+		if err != nil {
+			return nil, err
+		}
+		pt := ThroughputPoint{
+			Switch: cfg.Switch, Display: info.Display,
+			FrameLen: cfg.FrameLen, Chain: cfg.Chain, Bidir: cfg.Bidir,
+		}
+		if errors.Is(outs[i].Err, ErrChainTooLong) {
+			pt.Unsupported = true
+		} else {
+			pt.Gbps, pt.Mpps = outs[i].Result.Gbps, outs[i].Result.Mpps
+		}
+		fig.Pts = append(fig.Pts, pt)
 	}
 	return fig, nil
 }
 
 var bothDirs = []bool{false, true}
 
-func throughputPoint(o RunOpts, cfg Config) (ThroughputPoint, error) {
-	info, err := switchdef.Lookup(cfg.Switch)
-	if err != nil {
-		return ThroughputPoint{}, err
+// figureGrids maps throughput figure ids to their grids.
+var figureGrids = map[string]struct {
+	Title  string
+	Scn    ScenarioKind
+	Chains []int
+	Dirs   []bool
+}{
+	"4a": {"Throughput in physical-to-physical (p2p)", P2P, []int{1}, bothDirs},
+	"4b": {"Throughput in physical-to-virtual (p2v)", P2V, []int{1}, bothDirs},
+	"4c": {"Throughput in virtual-to-virtual (v2v)", V2V, []int{1}, bothDirs},
+	"5":  {"Unidirectional throughput of loopback", Loopback, Chains, []bool{false}},
+	"6":  {"Bidirectional throughput of loopback", Loopback, Chains, []bool{true}},
+}
+
+// FigureSpecs returns the flat measurement grid behind throughput figure
+// id ("4a", "4b", "4c", "5", "6") — the spec set a campaign executes.
+func FigureSpecs(id string, o RunOpts) ([]Config, error) {
+	g, ok := figureGrids[id]
+	if !ok {
+		return nil, fmt.Errorf("core: no spec grid for figure %q", id)
 	}
-	pt := ThroughputPoint{
-		Switch: cfg.Switch, Display: info.Display,
-		FrameLen: cfg.FrameLen, Chain: cfg.Chain, Bidir: cfg.Bidir,
+	return throughputSpecs(g.Scn, g.Chains, g.Dirs, o), nil
+}
+
+// FigureOn reproduces throughput figure id on runner r.
+func FigureOn(r Runner, id string, o RunOpts) (*Figure, error) {
+	g, ok := figureGrids[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown throughput figure %q", id)
 	}
-	res, err := Run(o.apply(cfg))
-	if errors.Is(err, ErrChainTooLong) {
-		pt.Unsupported = true
-		return pt, nil
-	}
-	if err != nil {
-		return ThroughputPoint{}, err
-	}
-	pt.Gbps, pt.Mpps = res.Gbps, res.Mpps
-	return pt, nil
+	return throughputFigureOn(r, id, g.Title, g.Scn, g.Chains, g.Dirs, o)
 }
 
 // Figure4a reproduces the p2p throughput figure (uni + bidir × frame sizes).
-func Figure4a(o RunOpts) (*Figure, error) {
-	return throughputFigure("4a", "Throughput in physical-to-physical (p2p)", P2P, []int{1}, bothDirs, o)
-}
+func Figure4a(o RunOpts) (*Figure, error) { return Figure4aOn(SerialRunner{}, o) }
+
+// Figure4aOn is Figure4a on an explicit runner.
+func Figure4aOn(r Runner, o RunOpts) (*Figure, error) { return FigureOn(r, "4a", o) }
 
 // Figure4b reproduces the p2v throughput figure.
-func Figure4b(o RunOpts) (*Figure, error) {
-	return throughputFigure("4b", "Throughput in physical-to-virtual (p2v)", P2V, []int{1}, bothDirs, o)
-}
+func Figure4b(o RunOpts) (*Figure, error) { return Figure4bOn(SerialRunner{}, o) }
+
+// Figure4bOn is Figure4b on an explicit runner.
+func Figure4bOn(r Runner, o RunOpts) (*Figure, error) { return FigureOn(r, "4b", o) }
 
 // Figure4c reproduces the v2v throughput figure.
-func Figure4c(o RunOpts) (*Figure, error) {
-	return throughputFigure("4c", "Throughput in virtual-to-virtual (v2v)", V2V, []int{1}, bothDirs, o)
-}
+func Figure4c(o RunOpts) (*Figure, error) { return Figure4cOn(SerialRunner{}, o) }
+
+// Figure4cOn is Figure4c on an explicit runner.
+func Figure4cOn(r Runner, o RunOpts) (*Figure, error) { return FigureOn(r, "4c", o) }
 
 // Chains is the loopback chain-length sweep (§5.2: 1 to 5 VNFs).
 var Chains = []int{1, 2, 3, 4, 5}
 
 // Figure5 reproduces the unidirectional loopback throughput figure.
-func Figure5(o RunOpts) (*Figure, error) {
-	return throughputFigure("5", "Unidirectional throughput of loopback", Loopback, Chains, []bool{false}, o)
-}
+func Figure5(o RunOpts) (*Figure, error) { return Figure5On(SerialRunner{}, o) }
+
+// Figure5On is Figure5 on an explicit runner.
+func Figure5On(r Runner, o RunOpts) (*Figure, error) { return FigureOn(r, "5", o) }
 
 // Figure6 reproduces the bidirectional loopback throughput figure.
-func Figure6(o RunOpts) (*Figure, error) {
-	return throughputFigure("6", "Bidirectional throughput of loopback", Loopback, Chains, []bool{true}, o)
-}
+func Figure6(o RunOpts) (*Figure, error) { return Figure6On(SerialRunner{}, o) }
+
+// Figure6On is Figure6 on an explicit runner.
+func Figure6On(r Runner, o RunOpts) (*Figure, error) { return FigureOn(r, "6", o) }
 
 // Figure1Point is one switch's dot on the paper's opening scatter plots:
 // bidirectional p2p 64B throughput vs. RTT at 0.95·R⁺.
@@ -146,26 +190,39 @@ type Figure1Point struct {
 }
 
 // Figure1 reproduces the scatter data of Fig. 1 (both panels share it).
-func Figure1(o RunOpts) ([]Figure1Point, error) {
+func Figure1(o RunOpts) ([]Figure1Point, error) { return Figure1On(SerialRunner{}, o) }
+
+// Figure1On is Figure1 on an explicit runner. It runs two waves: first the
+// saturating bidirectional p2p runs (one per switch, all independent),
+// then the latency runs at 95% of each measured rate.
+func Figure1On(r Runner, o RunOpts) ([]Figure1Point, error) {
+	bases := make([]Config, len(Switches))
+	for i, name := range Switches {
+		bases[i] = o.apply(Config{Switch: name, Scenario: P2P, FrameLen: 64, Bidir: true})
+	}
+	satOuts := r.RunAll(bases)
+	if err := firstErr(satOuts); err != nil {
+		return nil, err
+	}
+	// Latency at 95% of the measured bidirectional rate, per dir.
+	latSpecs := make([]Config, len(Switches))
+	rps := make([]float64, len(Switches))
+	for i := range bases {
+		rps[i] = satOuts[i].Result.Dirs[0].Mpps * 1e6
+		latSpecs[i] = LatencyConfig(bases[i], rps[i], 0.95)
+	}
+	latOuts := r.RunAll(latSpecs)
+	if err := firstErr(latOuts); err != nil {
+		return nil, err
+	}
 	var out []Figure1Point
-	for _, name := range Switches {
-		base := o.apply(Config{Switch: name, Scenario: P2P, FrameLen: 64, Bidir: true})
-		res, err := Run(base)
-		if err != nil {
-			return nil, err
-		}
-		// Latency at 95% of the measured bidirectional rate, per dir.
-		rp := res.Dirs[0].Mpps * 1e6
-		lat, err := MeasureLatencyAt(base, rp, 0.95)
-		if err != nil {
-			return nil, err
-		}
+	for i, name := range Switches {
 		info, _ := switchdef.Lookup(name)
 		out = append(out, Figure1Point{
 			Switch: name, Display: info.Display,
-			Gbps:   res.Gbps,
-			MeanUs: lat.Summary.MeanUs,
-			StdUs:  lat.Summary.StdUs,
+			Gbps:   satOuts[i].Result.Gbps,
+			MeanUs: latOuts[i].Result.Latency.MeanUs,
+			StdUs:  latOuts[i].Result.Latency.StdUs,
 		})
 	}
 	return out, nil
@@ -199,27 +256,68 @@ type Table3Cell struct {
 }
 
 // Table3 reproduces the RTT latency table.
-func Table3(o RunOpts) ([]Table3Cell, error) {
-	var out []Table3Cell
+func Table3(o RunOpts) ([]Table3Cell, error) { return Table3On(SerialRunner{}, o) }
+
+// Table3On is Table3 on an explicit runner. Wave one runs every cell's
+// saturating R⁺ estimation; wave two fans out the three rate-controlled
+// latency runs per supported cell.
+func Table3On(r Runner, o RunOpts) ([]Table3Cell, error) {
+	type cellDef struct {
+		cfg  Config
+		cell Table3Cell
+	}
+	var cells []cellDef
 	for _, name := range Switches {
 		for _, col := range Table3Columns() {
 			cfg := col.Cfg
 			cfg.Switch = name
-			cell := Table3Cell{Switch: name, Scenario: col.Label}
-			pts, err := LatencyProfile(o.apply(cfg), Table3Loads)
-			if errors.Is(err, ErrChainTooLong) {
-				cell.Unsupported = true
-				out = append(out, cell)
-				continue
-			}
-			if err != nil {
-				return nil, err
-			}
-			for i, p := range pts {
-				cell.MeanUs[i] = p.Summary.MeanUs
-			}
-			out = append(out, cell)
+			cells = append(cells, cellDef{
+				cfg:  o.apply(cfg),
+				cell: Table3Cell{Switch: name, Scenario: col.Label},
+			})
 		}
+	}
+	satSpecs := make([]Config, len(cells))
+	for i, c := range cells {
+		satSpecs[i] = RPlusConfig(c.cfg)
+	}
+	satOuts := r.RunAll(satSpecs)
+	if err := firstErr(satOuts); err != nil {
+		return nil, err
+	}
+	// Supported cells fan out one latency spec per load level.
+	var latSpecs []Config
+	type latRef struct{ cell, load int }
+	var refs []latRef
+	rps := make([]float64, len(cells))
+	for i, c := range cells {
+		if errors.Is(satOuts[i].Err, ErrChainTooLong) {
+			cells[i].cell.Unsupported = true
+			continue
+		}
+		rp, err := rPlusFromResult(c.cfg, satOuts[i].Result)
+		if err != nil {
+			return nil, err
+		}
+		rps[i] = rp
+		for li, load := range Table3Loads {
+			latSpecs = append(latSpecs, LatencyConfig(c.cfg, rp, load))
+			refs = append(refs, latRef{cell: i, load: li})
+		}
+	}
+	latOuts := r.RunAll(latSpecs)
+	if err := firstErr(latOuts); err != nil {
+		return nil, err
+	}
+	for j, ref := range refs {
+		if err := latOuts[j].Err; err != nil {
+			return nil, err
+		}
+		cells[ref.cell].cell.MeanUs[ref.load] = latOuts[j].Result.Latency.MeanUs
+	}
+	out := make([]Table3Cell, len(cells))
+	for i, c := range cells {
+		out[i] = c.cell
 	}
 	return out, nil
 }
@@ -232,19 +330,33 @@ type Table4Row struct {
 	Summary stats.Summary
 }
 
-// Table4 reproduces the v2v latency table.
-func Table4(o RunOpts) ([]Table4Row, error) {
-	var out []Table4Row
-	for _, name := range Switches {
-		res, err := Run(o.apply(Config{
+// Table4Specs returns the flat v2v software-timestamping latency grid.
+func Table4Specs(o RunOpts) []Config {
+	specs := make([]Config, len(Switches))
+	for i, name := range Switches {
+		specs[i] = o.apply(Config{
 			Switch: name, Scenario: V2V, LatencyTopology: true,
 			FrameLen:   64,
 			Rate:       units.RateForPPS(1e6, 64), // "672 Mbps (=1 Mpps)"
 			ProbeEvery: DefaultProbeEvery,
-		}))
-		if err != nil {
-			return nil, err
-		}
+		})
+	}
+	return specs
+}
+
+// Table4 reproduces the v2v latency table.
+func Table4(o RunOpts) ([]Table4Row, error) { return Table4On(SerialRunner{}, o) }
+
+// Table4On is Table4 on an explicit runner.
+func Table4On(r Runner, o RunOpts) ([]Table4Row, error) {
+	specs := Table4Specs(o)
+	outs := r.RunAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	var out []Table4Row
+	for i, name := range Switches {
+		res := outs[i].Result
 		info, _ := switchdef.Lookup(name)
 		out = append(out, Table4Row{Switch: name, Display: info.Display,
 			MeanUs: res.Latency.MeanUs, Summary: res.Latency})

@@ -61,12 +61,12 @@ func Run(cfg Config) (Result, error) {
 		offered = units.TenGigE
 	}
 	res.OfferedGbps = float64(offered) / 1e9 * float64(len(res.Dirs))
+	// Merge every direction's probe samples: bidirectional runs fill one
+	// histogram per measurement endpoint, and dropping all but the first
+	// would silently discard the reverse direction.
 	var merged stats.Histogram
 	for _, h := range tb.hists {
-		if h.N() > 0 {
-			merged = *h
-			break
-		}
+		merged.Merge(h)
 	}
 	res.Latency = merged.Summarize()
 	for _, fn := range tb.dropFns {

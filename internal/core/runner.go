@@ -1,0 +1,48 @@
+package core
+
+import "errors"
+
+// Runner executes a batch of independent measurement specs and returns one
+// outcome per spec, in spec order regardless of completion order. It is the
+// seam through which the experiment suites (Figure*, Table*) run their
+// grids: SerialRunner is the in-package default, and internal/campaign
+// provides a parallel, cached, panic-isolating implementation.
+type Runner interface {
+	RunAll(specs []Config) []SpecOutcome
+}
+
+// SpecOutcome is one cell's result of a batch execution.
+type SpecOutcome struct {
+	Result Result
+	Err    error
+}
+
+// SerialRunner runs specs one after another on the calling goroutine — the
+// paper's original single-threaded methodology.
+type SerialRunner struct{}
+
+// RunAll implements Runner.
+func (SerialRunner) RunAll(specs []Config) []SpecOutcome {
+	out := make([]SpecOutcome, len(specs))
+	for i, cfg := range specs {
+		out[i].Result, out[i].Err = Run(cfg)
+	}
+	return out
+}
+
+// Canonical returns cfg with all defaults applied: two configs describing
+// the same measurement canonicalize identically, which is what
+// content-addressed result caches key on.
+func (cfg Config) Canonical() Config { return cfg.withDefaults() }
+
+// firstErr returns the first non-ErrChainTooLong error in outs, if any.
+// ErrChainTooLong is not a failure: the suites render those cells as
+// missing bars ("-"), matching the paper.
+func firstErr(outs []SpecOutcome) error {
+	for _, o := range outs {
+		if o.Err != nil && !errors.Is(o.Err, ErrChainTooLong) {
+			return o.Err
+		}
+	}
+	return nil
+}

@@ -46,7 +46,7 @@ func (tb *testbed) wireP2P() error {
 	tb.nicGenerator("moongen-tx0", gen0, tb.frameSpec(p0, p1), true)
 	tb.nicSink("moongen-rx1", gen1)
 	if tb.cfg.Bidir {
-		tb.nicGenerator("moongen-tx1", gen1, tb.frameSpec(p1, p0), false)
+		tb.nicGenerator("moongen-tx1", gen1, tb.frameSpec(p1, p0), true)
 		tb.nicSink("moongen-rx0", gen0)
 	}
 	return nil
@@ -66,7 +66,7 @@ func (tb *testbed) wireP2V() error {
 		tb.guestMonitor("flowatcher-vm0", vif)
 	}
 	if tb.cfg.Reversed || tb.cfg.Bidir {
-		tb.guestGenerator("guestgen-vm0", vif, guestPool, tb.frameSpec(pv, p0), false)
+		tb.guestGenerator("guestgen-vm0", vif, guestPool, tb.frameSpec(pv, p0), true)
 		tb.nicSink("moongen-rx0", gen0)
 	}
 	return nil
@@ -190,7 +190,7 @@ func (tb *testbed) wireLoopback() error {
 	tb.nicGenerator("moongen-tx0", gen0, tb.frameSpec(p0, vms[0].pIf0), true)
 	tb.nicSink("moongen-rx1", gen1)
 	if tb.cfg.Bidir {
-		tb.nicGenerator("moongen-tx1", gen1, tb.frameSpec(p1, vms[n-1].pIf1), false)
+		tb.nicGenerator("moongen-tx1", gen1, tb.frameSpec(p1, vms[n-1].pIf1), true)
 		tb.nicSink("moongen-rx0", gen0)
 	}
 	return nil

@@ -14,6 +14,12 @@ import (
 	"repro/internal/units"
 )
 
+// ModelVersion identifies the calibrated cost-model generation. Bump it
+// whenever any cycle price here or in a switch package changes: cached
+// campaign results are keyed on it, so a bump invalidates every cached
+// measurement taken under the old prices.
+const ModelVersion = "conext19-cal1"
+
 // Model holds the primitive operation prices for one simulated machine.
 type Model struct {
 	Freq units.Freq

@@ -122,6 +122,33 @@ func (h *Histogram) N() int64 { return h.count }
 // Reset clears the histogram.
 func (h *Histogram) Reset() { *h = Histogram{} }
 
+// Merge folds o's observations into h. Bucket counts, totals and sums add
+// exactly, so merging per-direction histograms of a bidirectional run
+// yields the same distribution as recording every sample into one
+// histogram. A nil or empty o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.count == 0 {
+		return
+	}
+	if h.count == 0 {
+		h.min, h.max = o.min, o.max
+	} else {
+		if o.min < h.min {
+			h.min = o.min
+		}
+		if o.max > h.max {
+			h.max = o.max
+		}
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i, c := range o.buckets {
+		if c != 0 {
+			h.buckets[i] += c
+		}
+	}
+}
+
 // Mean returns the exact mean (sums are kept exactly).
 func (h *Histogram) Mean() units.Time {
 	if h.count == 0 {

@@ -186,3 +186,43 @@ func TestEmptyHistogram(t *testing.T) {
 		t.Fatal("empty histogram not zero")
 	}
 }
+
+func TestHistogramMerge(t *testing.T) {
+	// Two histograms merged must equal one histogram fed every sample.
+	var a, b, all Histogram
+	for i := 1; i <= 500; i++ {
+		v := units.Time(i) * 37 * units.Nanosecond
+		a.Add(v)
+		all.Add(v)
+	}
+	for i := 1; i <= 300; i++ {
+		v := units.Time(i) * 113 * units.Nanosecond
+		b.Add(v)
+		all.Add(v)
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Fatalf("merged histogram differs from direct accumulation:\nmerged %+v\ndirect %+v", a.Summarize(), all.Summarize())
+	}
+	if a.N() != 800 {
+		t.Fatalf("merged N = %d, want 800", a.N())
+	}
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	var h Histogram
+	h.Add(5 * units.Microsecond)
+	before := h
+	var empty Histogram
+	h.Merge(&empty)
+	h.Merge(nil)
+	if h != before {
+		t.Fatal("merging empty/nil histograms changed the receiver")
+	}
+	// Merging into an empty receiver copies min/max.
+	var dst Histogram
+	dst.Merge(&before)
+	if dst != before {
+		t.Fatal("merge into empty receiver is not a copy")
+	}
+}

@@ -1,8 +1,10 @@
 package swbench
 
 import (
+	"context"
 	"io"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/cost"
 	"repro/internal/pkt"
@@ -151,6 +153,98 @@ func Table3(o RunOpts) ([]Table3Cell, error) { return core.Table3(o) }
 
 // Table4 reproduces the v2v latency table.
 func Table4(o RunOpts) ([]Table4Row, error) { return core.Table4(o) }
+
+// Campaign orchestration: every figure and table decomposes into
+// independent deterministic simulations, and a Runner executes such a
+// batch — serially (SerialRunner, the paper's original methodology) or
+// fanned out over a bounded worker pool with a content-addressed result
+// cache (NewOrchestrator). The *On suite variants below run their
+// experiment grids through an explicit runner; the plain variants above
+// stay serial.
+type (
+	// Runner executes a batch of independent measurement specs.
+	Runner = core.Runner
+	// SpecOutcome is one cell's result of a batch execution.
+	SpecOutcome = core.SpecOutcome
+	// Orchestrator is the parallel, cached, panic-isolating Runner.
+	Orchestrator = campaign.Orchestrator
+	// CampaignOptions configures an Orchestrator.
+	CampaignOptions = campaign.Options
+	// CampaignSpec is one named campaign cell.
+	CampaignSpec = campaign.Spec
+	// ExperimentCampaign is a named set of specs.
+	ExperimentCampaign = campaign.Campaign
+	// CampaignReport is a completed campaign.
+	CampaignReport = campaign.Report
+	// CampaignOutcome is one cell's execution record.
+	CampaignOutcome = campaign.Outcome
+	// CampaignEvent is one progress notification.
+	CampaignEvent = campaign.Event
+	// ResultCache is the content-addressed on-disk result cache.
+	ResultCache = campaign.Cache
+)
+
+// SerialRunner runs batch specs one after another on the calling
+// goroutine.
+type SerialRunner = core.SerialRunner
+
+// CampaignEventType classifies a campaign progress event.
+type CampaignEventType = campaign.EventType
+
+// The campaign progress event types.
+const (
+	CampaignCellStarted  = campaign.EventStarted
+	CampaignCellFinished = campaign.EventFinished
+	CampaignCellCached   = campaign.EventCached
+	CampaignCellFailed   = campaign.EventFailed
+)
+
+// NewOrchestrator returns a campaign orchestrator; ctx cancels campaign
+// execution between cells (nil means context.Background()).
+func NewOrchestrator(ctx context.Context, opts CampaignOptions) *Orchestrator {
+	return campaign.New(ctx, opts)
+}
+
+// OpenResultCache opens (creating if needed) a result cache directory.
+func OpenResultCache(dir string) (*ResultCache, error) { return campaign.OpenCache(dir) }
+
+// BuiltinCampaign returns a named experiment campaign (see
+// BuiltinCampaignNames) with o applied to every spec.
+func BuiltinCampaign(name string, o RunOpts) (ExperimentCampaign, error) {
+	return campaign.Builtin(name, o)
+}
+
+// BuiltinCampaignNames lists the registered campaign names.
+func BuiltinCampaignNames() []string { return campaign.BuiltinNames() }
+
+// WriteCampaignArtifacts writes a campaign's JSONL artifact log.
+func WriteCampaignArtifacts(w io.Writer, rep *CampaignReport) error {
+	return campaign.WriteArtifacts(w, rep)
+}
+
+// Figure1On is Figure1 on an explicit runner.
+func Figure1On(r Runner, o RunOpts) ([]Figure1Point, error) { return core.Figure1On(r, o) }
+
+// Figure4aOn is Figure4a on an explicit runner.
+func Figure4aOn(r Runner, o RunOpts) (*Figure, error) { return core.Figure4aOn(r, o) }
+
+// Figure4bOn is Figure4b on an explicit runner.
+func Figure4bOn(r Runner, o RunOpts) (*Figure, error) { return core.Figure4bOn(r, o) }
+
+// Figure4cOn is Figure4c on an explicit runner.
+func Figure4cOn(r Runner, o RunOpts) (*Figure, error) { return core.Figure4cOn(r, o) }
+
+// Figure5On is Figure5 on an explicit runner.
+func Figure5On(r Runner, o RunOpts) (*Figure, error) { return core.Figure5On(r, o) }
+
+// Figure6On is Figure6 on an explicit runner.
+func Figure6On(r Runner, o RunOpts) (*Figure, error) { return core.Figure6On(r, o) }
+
+// Table3On is Table3 on an explicit runner.
+func Table3On(r Runner, o RunOpts) ([]Table3Cell, error) { return core.Table3On(r, o) }
+
+// Table4On is Table4 on an explicit runner.
+func Table4On(r Runner, o RunOpts) ([]Table4Row, error) { return core.Table4On(r, o) }
 
 // Renderers (text tables; also the source of EXPERIMENTS.md).
 func RenderFigure(w io.Writer, fig *Figure, compare bool) { core.RenderFigure(w, fig, compare) }
