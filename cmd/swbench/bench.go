@@ -1,0 +1,73 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+// benchCmd is the `swbench bench` verb: measure the host-side speed of the
+// simulation engine on fixed-seed representative cells, and optionally
+// merge against a saved baseline into the BENCH_simcore.json trajectory.
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "short simulation windows")
+	repeats := fs.Int("repeats", 3, "runs per cell (best wall time wins)")
+	out := fs.String("out", "", "write the report (or comparison, with -baseline) as JSON to this path")
+	baselinePath := fs.String("baseline", "", "merge against this saved report into a baseline-vs-optimized comparison")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := bench.Run(bench.Options{
+		Opts:     bench.DefaultOpts(*quick),
+		Quick:    *quick,
+		Repeats:  *repeats,
+		Progress: os.Stderr,
+	})
+	if err != nil {
+		return err
+	}
+
+	var result any = rep
+	if *baselinePath != "" {
+		f, err := os.Open(*baselinePath)
+		if err != nil {
+			return err
+		}
+		base, err := bench.ReadReport(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		cmp, err := bench.Compare(base, rep)
+		if err != nil {
+			return err
+		}
+		for _, c := range cmp.Cells {
+			fmt.Printf("  %-14s baseline %8.1f ms  optimized %8.1f ms  speedup %.2fx\n",
+				c.Name, c.Baseline.WallSeconds*1e3, c.Optimized.WallSeconds*1e3, c.HostSpeedup)
+		}
+		result = cmp
+	} else {
+		for _, c := range rep.Cells {
+			fmt.Printf("  %-14s %8.1f ms  %6.2f Mevents/s  %6.2f Msimpkt/s  (%d sim pkts, %.2f Gbps)\n",
+				c.Name, c.WallSeconds*1e3, c.EventsPerSec/1e6, c.SimPktPerSec/1e6, c.SimPackets, c.Gbps)
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := bench.WriteJSON(f, result); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	return nil
+}

@@ -58,9 +58,18 @@ func campaignCmd(args []string) error {
 	resume := fs.Bool("resume", false, "append to an existing artifact log instead of truncating (pair with -cache-dir to skip measured cells)")
 	benchOut := fs.String("bench-out", "", "run serial+parallel+cached passes and write a benchmark summary JSON to this path")
 	quiet := fs.Bool("quiet", false, "suppress the live progress stream")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
+	if err := prof.start(); err != nil {
+		return err
+	}
+	defer func() {
+		if err := prof.stop(); err != nil {
+			fmt.Fprintln(os.Stderr, "swbench: profile:", err)
+		}
+	}()
 
 	o := opts(*quick)
 	c, err := swbench.BuiltinCampaign(name, o)

@@ -35,6 +35,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  swbench table 1|2|3|4|5 [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench all [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench campaign list | <name> [-quick] [-workers N] [-timeout D] [-cache-dir P] [-artifacts F] [-resume] [-bench-out F]")
+	fmt.Fprintln(os.Stderr, "  swbench bench [-quick] [-repeats N] [-out F] [-baseline F]   # engine host-speed cells")
+	fmt.Fprintln(os.Stderr, "  (figure, table, all, and campaign also take -cpuprofile F and -memprofile F)")
 	os.Exit(2)
 }
 
@@ -62,6 +64,8 @@ func main() {
 		err = allCmd(os.Args[2:])
 	case "campaign":
 		err = campaignCmd(os.Args[2:])
+	case "bench":
+		err = benchCmd(os.Args[2:])
 	default:
 		usage()
 	}
@@ -148,11 +152,23 @@ func rplusCmd(args []string) error {
 	return nil
 }
 
-func suiteFlags(fs *flag.FlagSet) (*bool, *bool, *int) {
+func suiteFlags(fs *flag.FlagSet) (*bool, *bool, *int, *profiler) {
 	quick := fs.Bool("quick", false, "short simulation windows")
 	compare := fs.Bool("compare", false, "show the paper's values alongside")
 	workers := fs.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
-	return quick, compare, workers
+	return quick, compare, workers, addProfileFlags(fs)
+}
+
+// profiled runs fn under the requested CPU/heap profiles.
+func profiled(p *profiler, fn func() error) error {
+	if err := p.start(); err != nil {
+		return err
+	}
+	err := fn()
+	if perr := p.stop(); err == nil {
+		err = perr
+	}
+	return err
 }
 
 func opts(quick bool) swbench.RunOpts {
@@ -168,7 +184,7 @@ func figureCmd(args []string) error {
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
-	quick, compare, workers := suiteFlags(fs)
+	quick, compare, workers, prof := suiteFlags(fs)
 	csvPath := fs.String("csv", "", "also write the figure data as CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -177,10 +193,12 @@ func figureCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *csvPath != "" {
-		return figureCSV(r, id, opts(*quick), *csvPath)
-	}
-	return renderFigure(r, id, opts(*quick), *compare)
+	return profiled(prof, func() error {
+		if *csvPath != "" {
+			return figureCSV(r, id, opts(*quick), *csvPath)
+		}
+		return renderFigure(r, id, opts(*quick), *compare)
+	})
 }
 
 func figureCSV(r swbench.Runner, id string, o swbench.RunOpts, path string) error {
@@ -286,7 +304,7 @@ func tableCmd(args []string) error {
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
-	quick, compare, workers := suiteFlags(fs)
+	quick, compare, workers, prof := suiteFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -294,7 +312,9 @@ func tableCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	return renderTable(r, id, opts(*quick), *compare)
+	return profiled(prof, func() error {
+		return renderTable(r, id, opts(*quick), *compare)
+	})
 }
 
 func renderTable(r swbench.Runner, id string, o swbench.RunOpts, compare bool) error {
@@ -325,7 +345,7 @@ func renderTable(r swbench.Runner, id string, o swbench.RunOpts, compare bool) e
 
 func allCmd(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
-	quick, compare, workers := suiteFlags(fs)
+	quick, compare, workers, prof := suiteFlags(fs)
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory")
 	progress := fs.Bool("progress", false, "stream per-cell progress to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -336,25 +356,27 @@ func allCmd(args []string) error {
 		return err
 	}
 	o := opts(*quick)
-	for _, id := range []string{"1", "2"} {
-		if err := renderTable(r, id, o, *compare); err != nil {
-			return err
+	return profiled(prof, func() error {
+		for _, id := range []string{"1", "2"} {
+			if err := renderTable(r, id, o, *compare); err != nil {
+				return err
+			}
+			fmt.Println()
 		}
-		fmt.Println()
-	}
-	for _, id := range []string{"1", "4a", "4b", "4c", "5", "6"} {
-		if err := renderFigure(r, id, o, *compare); err != nil {
-			return err
+		for _, id := range []string{"1", "4a", "4b", "4c", "5", "6"} {
+			if err := renderFigure(r, id, o, *compare); err != nil {
+				return err
+			}
+			fmt.Println()
 		}
-		fmt.Println()
-	}
-	for _, id := range []string{"3", "4", "5"} {
-		if err := renderTable(r, id, o, *compare); err != nil {
-			return err
+		for _, id := range []string{"3", "4", "5"} {
+			if err := renderTable(r, id, o, *compare); err != nil {
+				return err
+			}
+			fmt.Println()
 		}
-		fmt.Println()
-	}
-	return nil
+		return nil
+	})
 }
 
 func ndrCmd(args []string) error {

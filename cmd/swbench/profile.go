@@ -1,0 +1,64 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// profiler carries the -cpuprofile/-memprofile flag values shared by the
+// long-running verbs (figure, table, all, campaign): simulation campaigns
+// are the engine's hot loop, and profiling them end to end is how the
+// simulator's own performance work gets measured.
+type profiler struct {
+	cpu, mem string
+	cpuFile  *os.File
+}
+
+// addProfileFlags registers the profiling flags on fs.
+func addProfileFlags(fs *flag.FlagSet) *profiler {
+	p := &profiler{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write a heap profile to this file on exit")
+	return p
+}
+
+// start begins CPU profiling if requested. Callers must invoke stop (via
+// defer) once the measured work is done.
+func (p *profiler) start() error {
+	if p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// stop finishes the CPU profile and writes the heap profile, if requested.
+func (p *profiler) stop() error {
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			return err
+		}
+		p.cpuFile = nil
+	}
+	if p.mem == "" {
+		return nil
+	}
+	f, err := os.Create(p.mem)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	runtime.GC() // settle allocations so the heap profile shows retention
+	return pprof.WriteHeapProfile(f)
+}

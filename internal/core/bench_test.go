@@ -1,0 +1,28 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// BenchmarkP2P64B runs the paper's headline cell — saturating 64-byte
+// p2p forwarding — end to end: scheduler, generators, NIC model, switch
+// datapath, and sink. It is the engine's composite hot-path benchmark;
+// the per-layer microbenchmarks live next to their packages.
+func BenchmarkP2P64B(b *testing.B) {
+	cfg := Config{
+		Switch: "vpp", Scenario: P2P, FrameLen: 64,
+		Duration: 2 * units.Millisecond, Warmup: 500 * units.Microsecond,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Dirs) == 0 || res.Dirs[0].RxPackets == 0 {
+			b.Fatal("no traffic delivered")
+		}
+	}
+}

@@ -80,5 +80,8 @@ func Run(cfg Config) (Result, error) {
 	if busy+idle > 0 {
 		res.SUTBusyFrac = float64(busy) / float64(busy+idle)
 	}
+	// The measurement is collected; release the buffer high-water mark
+	// before the caller (often a many-cell campaign) moves on.
+	tb.releasePools()
 	return res, nil
 }

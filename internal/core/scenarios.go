@@ -55,7 +55,7 @@ func (tb *testbed) wireP2P() error {
 // wireP2V: gen0 —wire— SUT[0 ↔ 1] —vif— VM(monitor / generator).
 func (tb *testbed) wireP2V() error {
 	sp0, gen0 := tb.addPhysPair("p0")
-	guestPool := pkt.NewPool(bufSize)
+	guestPool := tb.newPool(bufSize)
 	spV, vif := tb.addGuestIf("vm0-if0", guestPool)
 	p0, pv := tb.attach(sp0), tb.attach(spV)
 	if err := tb.sw.CrossConnect(p0, pv); err != nil {
@@ -74,8 +74,8 @@ func (tb *testbed) wireP2V() error {
 
 // wireV2V (throughput topology): VM1(gen) —vif— SUT[0 ↔ 1] —vif— VM2(mon).
 func (tb *testbed) wireV2V() error {
-	pool1 := pkt.NewPool(bufSize)
-	pool2 := pkt.NewPool(bufSize)
+	pool1 := tb.newPool(bufSize)
+	pool2 := tb.newPool(bufSize)
 	sp1, if1 := tb.addGuestIf("vm1-if0", pool1)
 	sp2, if2 := tb.addGuestIf("vm2-if0", pool2)
 	p1, p2 := tb.attach(sp1), tb.attach(sp2)
@@ -95,8 +95,8 @@ func (tb *testbed) wireV2V() error {
 // threads with software timestamping; VM2 reflects with l2fwd. The SUT
 // cross-connects (vm1.if0 ↔ vm2.if0) and (vm2.if1 ↔ vm1.if1).
 func (tb *testbed) wireV2VLatency() error {
-	pool1 := pkt.NewPool(bufSize)
-	pool2 := pkt.NewPool(bufSize)
+	pool1 := tb.newPool(bufSize)
+	pool2 := tb.newPool(bufSize)
 	sp10, if10 := tb.addGuestIf("vm1-if0", pool1)
 	sp20, if20 := tb.addGuestIf("vm2-if0", pool2)
 	sp21, if21 := tb.addGuestIf("vm2-if1", pool2)
@@ -134,7 +134,7 @@ func (tb *testbed) wireLoopback() error {
 	}
 	vms := make([]vmIfs, n)
 	for k := 0; k < n; k++ {
-		pool := pkt.NewPool(bufSize)
+		pool := tb.newPool(bufSize)
 		spa, ifa := tb.addGuestIf(fmt.Sprintf("vm%d-if0", k+1), pool)
 		spb, ifb := tb.addGuestIf(fmt.Sprintf("vm%d-if1", k+1), pool)
 		vms[k] = vmIfs{if0: ifa, if1: ifb, pIf0: tb.attach(spa), pIf1: tb.attach(spb), pool: pool}

@@ -68,6 +68,12 @@ type testbed struct {
 
 	hostPool *pkt.Pool
 	genPool  *pkt.Pool
+	// pools tracks every packet pool the testbed created so Run can
+	// release their free lists once the measurement is collected: a
+	// saturating cell's pools grow to the high-water mark of in-flight
+	// frames, and a campaign holds many cells' worth of testbeds between
+	// GC cycles.
+	pools []*pkt.Pool
 
 	gens     []*tgen.Generator
 	sinks    []*tgen.Sink
@@ -81,6 +87,21 @@ type testbed struct {
 	hists []*stats.Histogram
 	// dropFns report loss points.
 	dropFns []func() int64
+}
+
+// newPool creates a packet pool registered for end-of-run release.
+func (tb *testbed) newPool(bufSize int) *pkt.Pool {
+	p := pkt.NewPool(bufSize)
+	tb.pools = append(tb.pools, p)
+	return p
+}
+
+// releasePools drops every pool's free list so the GC can reclaim the
+// cell's buffer high-water mark as soon as the measurement is done.
+func (tb *testbed) releasePools() {
+	for _, p := range tb.pools {
+		p.Trim(0)
+	}
 }
 
 // sutPorts tracks what was attached to the switch, in port-index order.
@@ -106,14 +127,14 @@ func build(cfg Config) (*testbed, error) {
 	}
 
 	tb := &testbed{
-		cfg:      cfg,
-		info:     info,
-		sched:    sim.NewScheduler(),
-		rng:      sim.NewRNG(cfg.Seed),
-		model:    cost.Default(),
-		hostPool: pkt.NewPool(bufSize),
-		genPool:  pkt.NewPool(bufSize),
+		cfg:   cfg,
+		info:  info,
+		sched: sim.NewScheduler(),
+		rng:   sim.NewRNG(cfg.Seed),
+		model: cost.Default(),
 	}
+	tb.hostPool = tb.newPool(bufSize)
+	tb.genPool = tb.newPool(bufSize)
 	sw, err := switchdef.New(cfg.Switch, switchdef.Env{
 		Model: tb.model,
 		RNG:   tb.rng,

@@ -83,5 +83,6 @@ func RunWindows(cfg Config, n int) ([]WindowPoint, Result, error) {
 	for _, fn := range tb.dropFns {
 		res.Drops += fn()
 	}
+	tb.releasePools()
 	return points, res, nil
 }

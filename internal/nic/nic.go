@@ -8,6 +8,12 @@
 // paper's saturated 82599 ports. Ports optionally timestamp frames in
 // hardware (the Intel 82599 PTP feature MoonGen uses) and can deliver
 // moderated interrupts to an IRQ-driven consumer (the netmap/VALE mode).
+//
+// The TX occupancy window, the staged-arrival queue, and the RX descriptor
+// ring are all consumed from the front at packet rate; they are kept as
+// head-indexed slices with amortized compaction so dequeuing is O(1) per
+// frame instead of a memmove of everything still queued (which profiled as
+// the single hottest call in saturating runs).
 package nic
 
 import (
@@ -60,20 +66,27 @@ type Counters struct {
 	RxDropsFull        int64 // frames lost to a full RX ring
 }
 
+// compactAt is the consumed-prefix length that triggers copying a
+// head-indexed queue back to its slice front (amortized O(1) per element).
+const compactAt = 256
+
 // Port is one physical Ethernet port.
 type Port struct {
 	cfg  Config
 	peer *Port
 
-	// TX pacing state: doneTimes holds the wire-completion times of
-	// queued frames (FIFO); busyUntil is when the wire frees up.
+	// TX pacing state: doneTimes[doneHead:] holds the wire-completion
+	// times of queued frames (FIFO); busyUntil is when the wire frees up.
 	doneTimes []units.Time
+	doneHead  int
 	busyUntil units.Time
 
-	// RX state: staged holds frames in flight / not yet materialized;
-	// ring is the descriptor ring the consumer drains.
-	staged []arrival
-	ring   []*pkt.Buf
+	// RX state: staged[stagedHead:] holds frames in flight / not yet
+	// visible; ring[ringHead:] is the descriptor ring the consumer drains.
+	staged     []arrival
+	stagedHead int
+	ring       []*pkt.Buf
+	ringHead   int
 
 	// Interrupt binding.
 	irq      *cpu.IRQCore
@@ -151,10 +164,10 @@ func (p *Port) ReArm(now units.Time) {
 	}
 	p.irqArmed = false
 	switch {
-	case len(p.ring) > 0:
+	case len(p.ring) > p.ringHead:
 		p.scheduleIRQ(now)
-	case len(p.staged) > 0:
-		earliest := p.staged[0].at
+	case len(p.staged) > p.stagedHead:
+		earliest := p.staged[p.stagedHead].at
 		if earliest < now {
 			earliest = now
 		}
@@ -164,34 +177,53 @@ func (p *Port) ReArm(now units.Time) {
 
 // purgeTx drops completed frames from the TX occupancy window.
 func (p *Port) purgeTx(now units.Time) {
-	i := 0
-	for i < len(p.doneTimes) && p.doneTimes[i] <= now {
-		i++
+	dt := p.doneTimes
+	h := p.doneHead
+	for h < len(dt) && dt[h] <= now {
+		h++
 	}
-	if i > 0 {
-		p.doneTimes = p.doneTimes[:copy(p.doneTimes, p.doneTimes[i:])]
+	switch {
+	case h == len(dt):
+		p.doneTimes = dt[:0]
+		p.doneHead = 0
+	case h >= compactAt && h*2 >= len(dt):
+		p.doneTimes = dt[:copy(dt, dt[h:])]
+		p.doneHead = 0
+	default:
+		p.doneHead = h
 	}
 }
 
 // TxFree returns the number of free TX descriptors at time now.
 func (p *Port) TxFree(now units.Time) int {
 	p.purgeTx(now)
-	return p.cfg.TxRing - len(p.doneTimes)
+	return p.cfg.TxRing - (len(p.doneTimes) - p.doneHead)
 }
 
 // Send enqueues one frame for transmission at time now. On success the port
 // takes ownership and returns true; if the TX ring is full the frame is
 // rejected (caller keeps ownership) and the drop is counted.
 func (p *Port) Send(now units.Time, b *pkt.Buf) bool {
+	return p.SendAt(now, b)
+}
+
+// SendAt enqueues one frame for transmission at time at, which may lie
+// ahead of the simulation clock: a batched generator emits a whole CBR
+// burst from one scheduler step by stamping each frame with its own due
+// time. The port's TX state is touched only by its sender, and every
+// downstream effect (wire completion, peer arrival, interrupt) is
+// timestamped from `at`, so a batch is bit-identical to one Send per
+// scheduler event at the same instants.
+func (p *Port) SendAt(at units.Time, b *pkt.Buf) bool {
 	if p.peer == nil {
 		panic(fmt.Sprintf("nic: port %s not connected", p.cfg.Name))
 	}
-	p.purgeTx(now)
-	if len(p.doneTimes) >= p.cfg.TxRing {
+	p.purgeTx(at)
+	if len(p.doneTimes)-p.doneHead >= p.cfg.TxRing {
 		p.Stats.TxDropsFull++
 		return false
 	}
-	start := now + p.cfg.TxLatency
+	start := at + p.cfg.TxLatency
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
@@ -223,11 +255,13 @@ func (p *Port) arrive(at units.Time, b *pkt.Buf) {
 // materialize moves arrivals that completed by now into the RX ring,
 // dropping (and freeing) those that find it full.
 func (p *Port) materialize(now units.Time) {
-	i := 0
-	for i < len(p.staged) && p.staged[i].at <= now {
-		a := p.staged[i]
-		i++
-		if len(p.ring) >= p.cfg.RxRing {
+	st := p.staged
+	h := p.stagedHead
+	for h < len(st) && st[h].at <= now {
+		a := st[h]
+		st[h] = arrival{}
+		h++
+		if len(p.ring)-p.ringHead >= p.cfg.RxRing {
 			p.Stats.RxDropsFull++
 			a.buf.Free()
 			continue
@@ -235,8 +269,15 @@ func (p *Port) materialize(now units.Time) {
 		a.buf.Ingress = a.stamp
 		p.ring = append(p.ring, a.buf)
 	}
-	if i > 0 {
-		p.staged = p.staged[:copy(p.staged, p.staged[i:])]
+	switch {
+	case h == len(st):
+		p.staged = st[:0]
+		p.stagedHead = 0
+	case h >= compactAt && h*2 >= len(st):
+		p.staged = st[:copy(st, st[h:])]
+		p.stagedHead = 0
+	default:
+		p.stagedHead = h
 	}
 }
 
@@ -245,13 +286,20 @@ func (p *Port) materialize(now units.Time) {
 // accounting: the consuming device driver model charges for the burst.
 func (p *Port) RxBurst(now units.Time, out []*pkt.Buf) int {
 	p.materialize(now)
-	n := copy(out, p.ring)
+	n := copy(out, p.ring[p.ringHead:])
 	if n > 0 {
-		rest := copy(p.ring, p.ring[n:])
-		for j := rest; j < len(p.ring); j++ {
+		for j := p.ringHead; j < p.ringHead+n; j++ {
 			p.ring[j] = nil
 		}
-		p.ring = p.ring[:rest]
+		p.ringHead += n
+		switch {
+		case p.ringHead == len(p.ring):
+			p.ring = p.ring[:0]
+			p.ringHead = 0
+		case p.ringHead >= compactAt && p.ringHead*2 >= len(p.ring):
+			p.ring = p.ring[:copy(p.ring, p.ring[p.ringHead:])]
+			p.ringHead = 0
+		}
 		for _, b := range out[:n] {
 			p.Stats.RxPackets++
 			p.Stats.RxBytes += int64(b.Len())
@@ -263,5 +311,5 @@ func (p *Port) RxBurst(now units.Time, out []*pkt.Buf) int {
 // RxPending returns how many frames are ready to be polled at time now.
 func (p *Port) RxPending(now units.Time) int {
 	p.materialize(now)
-	return len(p.ring)
+	return len(p.ring) - p.ringHead
 }

@@ -4,6 +4,17 @@
 // Buffers are single-owner: whichever component holds a *Buf is responsible
 // for eventually freeing it (or handing it off). Copies — the expensive
 // operation that vhost-user imposes and ptnet avoids — are always explicit.
+//
+// # Lazy materialization
+//
+// Synthetic generator frames are identical per (FrameSpec, flow), so a Buf
+// can carry a shared *Template instead of materialized bytes: Bytes()
+// builds the contents on first use with a single copy, and CopyFrom/Clone
+// on an unmaterialized buffer moves only metadata. Simulated cycle cost is
+// charged by the components exactly as before — host bytes moving (or not)
+// is invisible to the simulation. Anything that inspects or edits real
+// bytes (probe stamping, pcap capture, header-parsing switches) goes
+// through Bytes() and therefore transparently forces materialization.
 package pkt
 
 import (
@@ -16,6 +27,10 @@ import (
 type Buf struct {
 	data []byte // backing storage, fixed capacity
 	len  int    // frame length
+
+	// tmpl, when non-nil, is the frame image this buffer logically
+	// contains; data[:len] is stale until materialize copies it in.
+	tmpl *Template
 
 	// Seq is a generator-assigned sequence number.
 	Seq uint64
@@ -36,8 +51,38 @@ type Buf struct {
 	inPool bool
 }
 
-// Bytes returns the frame contents.
-func (b *Buf) Bytes() []byte { return b.data[:b.len] }
+// Bytes returns the frame contents, materializing them first if the buffer
+// is template-backed.
+func (b *Buf) Bytes() []byte {
+	if b.tmpl != nil {
+		b.materialize()
+	}
+	return b.data[:b.len]
+}
+
+// materialize copies the template image into the buffer (one memcpy; the
+// template is pre-serialized). Lengths can disagree only after an explicit
+// SetLen on a lazy buffer; the image is truncated or zero-extended to
+// match, mirroring what Build-then-SetLen would have produced.
+func (b *Buf) materialize() {
+	t := b.tmpl
+	b.tmpl = nil
+	n := copy(b.data[:b.len], t.data)
+	for i := n; i < b.len; i++ {
+		b.data[i] = 0
+	}
+}
+
+// Materialized reports whether the frame's bytes are backed by real
+// storage (false while the buffer only references a Template).
+func (b *Buf) Materialized() bool { return b.tmpl == nil }
+
+// SetTemplate makes b a metadata-only frame whose logical contents are t's
+// image. No bytes move until someone calls Bytes().
+func (b *Buf) SetTemplate(t *Template) {
+	b.SetLen(len(t.data))
+	b.tmpl = t
+}
 
 // Len returns the frame length in bytes.
 func (b *Buf) Len() int { return b.len }
@@ -52,10 +97,18 @@ func (b *Buf) SetLen(n int) {
 }
 
 // CopyFrom replaces b's contents and metadata with src's. This is the
-// primitive behind vhost-user's per-packet copies.
+// primitive behind vhost-user's per-packet copies. If src is still
+// template-backed, only the template reference moves — the simulated copy
+// cost is charged by the caller either way; host bytes are not part of the
+// simulation.
 func (b *Buf) CopyFrom(src *Buf) {
 	b.SetLen(src.len)
-	copy(b.data[:src.len], src.data[:src.len])
+	if src.tmpl != nil {
+		b.tmpl = src.tmpl
+	} else {
+		b.tmpl = nil
+		copy(b.data[:src.len], src.data[:src.len])
+	}
 	b.Seq = src.Seq
 	b.Probe = src.Probe
 	b.TxStamp = src.TxStamp
@@ -69,6 +122,25 @@ func (b *Buf) Free() {
 	if b.pool != nil {
 		b.pool.put(b)
 	}
+}
+
+// Template is an immutable, pre-serialized frame image shared by every
+// lazy buffer of one (FrameSpec, flow) pair. Building it costs one full
+// header serialization; every frame emitted against it afterwards costs
+// nothing until (unless) its bytes are inspected.
+type Template struct {
+	data []byte
+}
+
+// Len returns the image's frame length.
+func (t *Template) Len() int { return len(t.data) }
+
+// Image returns a copy of the frame image (diagnostics/tests; the shared
+// image itself must never be handed out mutable).
+func (t *Template) Image() []byte {
+	out := make([]byte, len(t.data))
+	copy(out, t.data)
+	return out
 }
 
 // Pool is a free list of equal-capacity buffers. It grows on demand so that
@@ -105,6 +177,7 @@ func (p *Pool) Get(frameLen int) *Buf {
 	p.live++
 	b.inPool = false
 	b.len = frameLen
+	b.tmpl = nil
 	b.Seq = 0
 	b.Probe = false
 	b.TxStamp = 0
@@ -113,7 +186,8 @@ func (p *Pool) Get(frameLen int) *Buf {
 	return b
 }
 
-// Clone returns a pool buffer holding a copy of src.
+// Clone returns a pool buffer holding a copy of src (metadata-only if src
+// is still template-backed).
 func (p *Pool) Clone(src *Buf) *Buf {
 	b := p.Get(src.len)
 	b.CopyFrom(src)
@@ -125,8 +199,29 @@ func (p *Pool) put(b *Buf) {
 		panic("pkt: double free")
 	}
 	b.inPool = true
+	b.tmpl = nil // drop the template reference while parked
 	p.live--
 	p.free = append(p.free, b)
+}
+
+// Trim releases free-list buffers beyond max, letting the GC reclaim their
+// backing storage. Without it the free list pins every buffer a cell ever
+// allocated (its high-water mark) for the life of the pool; callers that
+// finish a measurement release the pool with Trim(0).
+func (p *Pool) Trim(max int) {
+	if max < 0 {
+		max = 0
+	}
+	if len(p.free) <= max {
+		return
+	}
+	for i := max; i < len(p.free); i++ {
+		p.free[i] = nil
+	}
+	p.free = p.free[:max]
+	if max == 0 {
+		p.free = nil // release the spine too
+	}
 }
 
 // Live returns the number of buffers currently checked out.
@@ -134,3 +229,6 @@ func (p *Pool) Live() int { return p.live }
 
 // Allocated returns the number of buffers ever created by the pool.
 func (p *Pool) Allocated() int { return p.total }
+
+// Idle returns the number of buffers parked on the free list.
+func (p *Pool) Idle() int { return len(p.free) }

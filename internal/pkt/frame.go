@@ -21,11 +21,29 @@ const MinProbeFrameLen = EthHdrLen + IPv4HdrLen + UDPHdrLen + probeLen
 
 // Build writes the frame into buf (which must have FrameLen capacity).
 func (s FrameSpec) Build(b *Buf) {
+	b.SetLen(s.FrameLen)
+	b.tmpl = nil // overwriting: the old image is irrelevant
+	s.buildInto(b.data[:s.FrameLen])
+}
+
+// Template pre-serializes the frame image for flow index `flow` (0 for
+// single-flow traffic). Generators build one Template per (spec, flow) and
+// stamp emitted buffers with SetTemplate, deferring all byte work to the
+// first consumer that actually reads the frame.
+func (s FrameSpec) Template(flow int) *Template {
+	p := make([]byte, s.FrameLen)
+	s.buildInto(p)
+	if flow != 0 {
+		patchFlowBytes(p, s, flow)
+	}
+	return &Template{data: p}
+}
+
+// buildInto serializes the frame into p (len must be FrameLen).
+func (s FrameSpec) buildInto(p []byte) {
 	if s.FrameLen < MinProbeFrameLen {
 		panic("pkt: frame too short for headers")
 	}
-	b.SetLen(s.FrameLen)
-	p := b.Bytes()
 	EthHdr{Dst: s.DstMAC, Src: s.SrcMAC, EtherType: EtherTypeIPv4}.Put(p)
 	ip := IPv4Hdr{
 		TotalLen: uint16(s.FrameLen - EthHdrLen),
@@ -88,7 +106,10 @@ func ProbeInfo(b *Buf) (seq uint64, tx units.Time, ok bool) {
 // the generators leave the UDP checksum zero, so no recomputation is
 // needed.)
 func PatchFlow(b *Buf, spec FrameSpec, i int) {
-	p := b.Bytes()
+	patchFlowBytes(b.Bytes(), spec, i)
+}
+
+func patchFlowBytes(p []byte, spec FrameSpec, i int) {
 	mac := spec.SrcMAC
 	mac[4] += byte(i >> 8)
 	mac[5] += byte(i)

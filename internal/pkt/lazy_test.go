@@ -1,0 +1,193 @@
+package pkt
+
+import (
+	"bytes"
+	"testing"
+)
+
+func lazySpec(frameLen int) FrameSpec {
+	return FrameSpec{
+		SrcMAC: MAC{2, 0, 0, 0, 0, 1}, DstMAC: MAC{2, 0, 0, 0, 0, 2},
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+		SrcPort: 1234, DstPort: 5678, FrameLen: frameLen,
+	}
+}
+
+// TestTemplateMatchesBuild pins the lazy path to the eager one: a
+// template-backed buffer must read back byte-for-byte what Build writes,
+// for every frame size and flow index the generators use.
+func TestTemplateMatchesBuild(t *testing.T) {
+	p := NewPool(2048)
+	for _, frameLen := range []int{64, 570, 1518} {
+		for _, flow := range []int{0, 1, 7, 300} {
+			spec := lazySpec(frameLen)
+			eager := p.Get(frameLen)
+			spec.Build(eager)
+			if flow != 0 {
+				PatchFlow(eager, spec, flow)
+			}
+			lazy := p.Get(frameLen)
+			lazy.SetTemplate(spec.Template(flow))
+			if lazy.Materialized() {
+				t.Fatalf("len=%d flow=%d: buffer materialized before first read", frameLen, flow)
+			}
+			if !bytes.Equal(lazy.Bytes(), eager.Bytes()) {
+				t.Fatalf("len=%d flow=%d: template bytes differ from Build+PatchFlow", frameLen, flow)
+			}
+			if !lazy.Materialized() {
+				t.Fatalf("len=%d flow=%d: Bytes did not materialize", frameLen, flow)
+			}
+			eager.Free()
+			lazy.Free()
+		}
+	}
+}
+
+// TestLazyCopyPropagatesTemplate verifies that copying an unmaterialized
+// buffer moves only the template reference (the vhost copy path), that the
+// copy still reads the right bytes, and that materializing the copy leaves
+// the source lazy.
+func TestLazyCopyPropagatesTemplate(t *testing.T) {
+	p := NewPool(2048)
+	spec := lazySpec(64)
+	tmpl := spec.Template(0)
+
+	src := p.Get(64)
+	src.SetTemplate(tmpl)
+	src.Seq = 42
+
+	dst := p.Clone(src)
+	if dst.Materialized() {
+		t.Fatal("clone of a lazy buffer materialized")
+	}
+	if dst.Seq != 42 || dst.Len() != 64 {
+		t.Fatalf("clone metadata = seq %d len %d", dst.Seq, dst.Len())
+	}
+	if !bytes.Equal(dst.Bytes(), tmpl.Image()) {
+		t.Fatal("clone bytes differ from template image")
+	}
+	if src.Materialized() {
+		t.Fatal("materializing the clone materialized the source")
+	}
+
+	// Mutating the materialized clone must not leak into the shared image.
+	dst.Bytes()[EthHdrLen] = 0xFF
+	if src.Bytes()[EthHdrLen] == 0xFF {
+		t.Fatal("clone write corrupted the shared template")
+	}
+
+	// Copying a materialized buffer still copies real bytes.
+	dst2 := p.Clone(dst)
+	if !dst2.Materialized() {
+		t.Fatal("clone of a materialized buffer stayed lazy")
+	}
+	if dst2.Bytes()[EthHdrLen] != 0xFF {
+		t.Fatal("materialized clone lost its bytes")
+	}
+}
+
+// TestLazyProbeMarkMaterializes checks that probe stamping — which writes
+// into the payload — forces materialization and leaves the rest of the
+// frame equal to the template image.
+func TestLazyProbeMarkMaterializes(t *testing.T) {
+	p := NewPool(2048)
+	spec := lazySpec(64)
+	b := p.Get(64)
+	b.SetTemplate(spec.Template(0))
+	MarkProbe(b, 7, 1000)
+	if !b.Materialized() {
+		t.Fatal("MarkProbe left the buffer lazy")
+	}
+	seq, tx, ok := ProbeInfo(b)
+	if !ok || seq != 7 || tx != 1000 {
+		t.Fatalf("probe = (%d, %v, %v)", seq, tx, ok)
+	}
+	// Headers must still come from the template image.
+	eth, err := ParseEth(b.Bytes())
+	if err != nil || eth.Src != spec.SrcMAC {
+		t.Fatalf("eth after probe = %+v, %v", eth, err)
+	}
+}
+
+// TestPoolGetResetsTemplate guards against a recycled buffer resurrecting
+// the previous owner's template.
+func TestPoolGetResetsTemplate(t *testing.T) {
+	p := NewPool(2048)
+	b := p.Get(64)
+	b.SetTemplate(lazySpec(64).Template(0))
+	b.Free()
+	b2 := p.Get(64)
+	if !b2.Materialized() {
+		t.Fatal("recycled buffer still template-backed")
+	}
+}
+
+// TestPoolTrim exercises the free-list release path.
+func TestPoolTrim(t *testing.T) {
+	p := NewPool(2048)
+	bufs := make([]*Buf, 8)
+	for i := range bufs {
+		bufs[i] = p.Get(64)
+	}
+	for _, b := range bufs {
+		b.Free()
+	}
+	if p.Idle() != 8 {
+		t.Fatalf("idle = %d, want 8", p.Idle())
+	}
+	p.Trim(3)
+	if p.Idle() != 3 {
+		t.Fatalf("after Trim(3): idle = %d, want 3", p.Idle())
+	}
+	p.Trim(5) // larger than the free list: no-op
+	if p.Idle() != 3 {
+		t.Fatalf("after Trim(5): idle = %d, want 3", p.Idle())
+	}
+	p.Trim(0)
+	if p.Idle() != 0 {
+		t.Fatalf("after Trim(0): idle = %d, want 0", p.Idle())
+	}
+	// The pool still works after a full release.
+	b := p.Get(128)
+	if b.Len() != 128 {
+		t.Fatalf("post-trim Get len = %d", b.Len())
+	}
+	b.Free()
+	if p.Live() != 0 {
+		t.Fatalf("live = %d, want 0", p.Live())
+	}
+}
+
+// BenchmarkMaterialize compares the eager per-frame serialization the
+// generators used to pay against the lazy template path (stamp only) and
+// the worst case for laziness (stamp plus an immediate read).
+func BenchmarkMaterialize(b *testing.B) {
+	p := NewPool(2048)
+	spec := lazySpec(64)
+	tmpl := spec.Template(0)
+	b.Run("build", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := p.Get(64)
+			spec.Build(buf)
+			buf.Free()
+		}
+	})
+	b.Run("template", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := p.Get(64)
+			buf.SetTemplate(tmpl)
+			buf.Free()
+		}
+	})
+	b.Run("template+read", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf := p.Get(64)
+			buf.SetTemplate(tmpl)
+			_ = buf.Bytes()[0]
+			buf.Free()
+		}
+	})
+}

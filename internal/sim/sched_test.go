@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestHeavySameTimestampTieBreak floods one instant with wakes issued in
+// adversarial order: dispatch must follow registration order exactly, for
+// several rounds, including tasks that re-wake into the same instant.
+func TestHeavySameTimestampTieBreak(t *testing.T) {
+	const n = 97 // not a power of four: exercises ragged heap levels
+	s := NewScheduler()
+	var order []int
+	tasks := make([]*Task, n)
+	for i := 0; i < n; i++ {
+		i := i
+		tasks[i] = s.Register(fmt.Sprintf("t%d", i), StepFunc(func(now units.Time) (units.Time, bool) {
+			order = append(order, i)
+			return 0, false
+		}))
+	}
+	for round := 0; round < 3; round++ {
+		order = order[:0]
+		at := units.Time(round+1) * units.Microsecond
+		// Wake in a scrambled order: reversed, then odds before evens.
+		for i := n - 1; i >= 0; i -= 2 {
+			s.WakeAt(tasks[i], at)
+		}
+		for i := n - 2; i >= 0; i -= 2 {
+			s.WakeAt(tasks[i], at)
+		}
+		s.RunUntil(at)
+		if len(order) != n {
+			t.Fatalf("round %d: dispatched %d of %d", round, len(order), n)
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("round %d: dispatch %d was task %d, want %d (tie-break broken)", round, i, got, i)
+			}
+		}
+	}
+}
+
+// TestWakeAtPastClampDuringRun wakes tasks into the past from inside
+// another actor's step: the wake must clamp to the current instant and
+// still dispatch after the waker finishes (same instant, later seq wins by
+// registration order only).
+func TestWakeAtPastClampDuringRun(t *testing.T) {
+	s := NewScheduler()
+	var order []string
+	var late *Task
+	early := s.Register("early", StepFunc(func(now units.Time) (units.Time, bool) {
+		order = append(order, "early")
+		s.WakeAt(late, now-50*units.Nanosecond) // in the past: clamps to now
+		return 0, false
+	}))
+	late = s.Register("late", StepFunc(func(now units.Time) (units.Time, bool) {
+		order = append(order, fmt.Sprintf("late@%d", now))
+		return 0, false
+	}))
+	s.WakeAt(early, 100*units.Nanosecond)
+	s.RunUntil(units.Microsecond)
+	if len(order) != 2 || order[0] != "early" || order[1] != "late@100000" {
+		t.Fatalf("order = %v, want [early late@100000]", order)
+	}
+}
+
+// TestParkAndExternalWake exercises the interrupt-driven pattern: an actor
+// parks itself (ok=false) and is re-armed by another actor, repeatedly.
+// The parked task must not run until woken, and a wake while it is mid-
+// step (self-wake from its own side effects) must not be lost.
+func TestParkAndExternalWake(t *testing.T) {
+	s := NewScheduler()
+	var irqRuns []units.Time
+	var irqTask *Task
+	selfWake := false
+	irqTask = s.Register("irq", StepFunc(func(now units.Time) (units.Time, bool) {
+		irqRuns = append(irqRuns, now)
+		if selfWake {
+			selfWake = false
+			// A device re-arms the task during its own step (the NAPI
+			// re-arm path): the park return below must not cancel it.
+			s.WakeAt(irqTask, now+30*units.Nanosecond)
+		}
+		return 0, false // park
+	}))
+	ticker := s.Register("ticker", StepFunc(func(now units.Time) (units.Time, bool) {
+		if now == 100*units.Nanosecond {
+			s.WakeAt(irqTask, now+10*units.Nanosecond)
+		}
+		if now == 300*units.Nanosecond {
+			selfWake = true
+			s.WakeAt(irqTask, now)
+			return 0, false
+		}
+		return now + 100*units.Nanosecond, true
+	}))
+	s.WakeAt(ticker, 100*units.Nanosecond)
+	s.RunUntil(units.Microsecond)
+
+	want := []units.Time{110, 300, 330}
+	if len(irqRuns) != len(want) {
+		t.Fatalf("irq ran %d times at %v, want %d", len(irqRuns), irqRuns, len(want))
+	}
+	for i, w := range want {
+		if irqRuns[i] != w*units.Nanosecond {
+			t.Errorf("irq run %d at %v, want %v", i, irqRuns[i], w*units.Nanosecond)
+		}
+	}
+	if irqTask.Scheduled() {
+		t.Error("irq task still queued after final park")
+	}
+}
+
+// TestDispatchOrderMatchesReference drives a pseudo-random schedule
+// through the scheduler and through a naive O(n²) reference dispatcher:
+// the dispatch sequences must be identical. This pins the 4-ary heap and
+// the run-next fast path to the (when, seq) total order.
+func TestDispatchOrderMatchesReference(t *testing.T) {
+	const (
+		actors = 13
+		limit  = 2000
+		until  = 50 * units.Microsecond
+	)
+
+	// nextDelay is a deterministic pseudo-random step delta; some actors
+	// collide on timestamps constantly (delta quantized to 80ns), some
+	// self-reschedule at tiny deltas (fast-path food), some park.
+	nextDelay := func(id int, k uint64) (units.Time, bool) {
+		h := uint64(id)*0x9e3779b97f4a7c15 + k*0xbf58476d1ce4e5b9
+		h ^= h >> 29
+		h *= 0x94d049bb133111eb
+		h ^= h >> 32
+		switch id % 3 {
+		case 0: // collider: multiples of 80ns, frequent ties
+			return units.Time(1+h%4) * 80 * units.Nanosecond, true
+		case 1: // sprinter: 1-16ns self-reschedule
+			return units.Time(1 + h%16), true
+		default: // parker: parks every 5th step
+			if k%5 == 4 {
+				return 0, false
+			}
+			return units.Time(1+h%7) * 33 * units.Nanosecond, true
+		}
+	}
+
+	type ev struct {
+		id int
+		at units.Time
+	}
+
+	// Real scheduler.
+	var got []ev
+	{
+		s := NewScheduler()
+		counts := make([]uint64, actors)
+		tasks := make([]*Task, actors)
+		for i := 0; i < actors; i++ {
+			i := i
+			tasks[i] = s.Register(fmt.Sprintf("a%d", i), StepFunc(func(now units.Time) (units.Time, bool) {
+				got = append(got, ev{i, now})
+				if len(got) >= limit {
+					return 0, false
+				}
+				d, ok := nextDelay(i, counts[i])
+				counts[i]++
+				if !ok {
+					// Parked actors get revived by a later wake from actor 0's
+					// schedule position — emulate via immediate re-wake at a
+					// fixed offset so both dispatchers see the same schedule.
+					s.WakeAt(tasks[i], now+units.Microsecond)
+					return 0, false
+				}
+				return now + d, true
+			}))
+			s.WakeAt(tasks[i], units.Time(i)*10*units.Nanosecond)
+		}
+		s.RunUntil(until)
+	}
+
+	// Reference dispatcher: linear scan for min (when, seq).
+	var want []ev
+	{
+		type slot struct {
+			when      units.Time
+			scheduled bool
+		}
+		slots := make([]slot, actors)
+		counts := make([]uint64, actors)
+		for i := 0; i < actors; i++ {
+			slots[i] = slot{when: units.Time(i) * 10 * units.Nanosecond, scheduled: true}
+		}
+		now := units.Time(0)
+		for {
+			min := -1
+			for i := range slots {
+				if !slots[i].scheduled {
+					continue
+				}
+				if min < 0 || slots[i].when < slots[min].when {
+					min = i
+				}
+			}
+			if min < 0 || slots[min].when > until {
+				break
+			}
+			slots[min].scheduled = false
+			if slots[min].when > now {
+				now = slots[min].when
+			}
+			want = append(want, ev{min, now})
+			if len(want) >= limit {
+				continue
+			}
+			d, ok := nextDelay(min, counts[min])
+			counts[min]++
+			next := now + units.Microsecond // parked-revive offset
+			if ok {
+				next = now + d
+			}
+			slots[min].when = next
+			slots[min].scheduled = true
+		}
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %d events, reference %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: scheduler ran actor %d at %v, reference actor %d at %v",
+				i, got[i].id, got[i].at, want[i].id, want[i].at)
+		}
+	}
+}
+
+// TestFastPathCountsHits sanity-checks the run-next fast path fires for a
+// lone self-rescheduling actor (and never changes observable behaviour —
+// covered by the reference test above).
+func TestFastPathCountsHits(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	task := s.Register("solo", StepFunc(func(now units.Time) (units.Time, bool) {
+		n++
+		return now + 10*units.Nanosecond, true
+	}))
+	s.WakeAt(task, 0)
+	s.RunUntil(10 * units.Microsecond)
+	if n != 1001 {
+		t.Fatalf("steps = %d, want 1001", n)
+	}
+	if s.FastPathHits() < 1000 {
+		t.Errorf("fast path hits = %d, want ~1000 (solo actor should never touch the heap)", s.FastPathHits())
+	}
+}
+
+// BenchmarkSchedulerChurn measures raw dispatch throughput: many actors
+// perpetually rescheduling at staggered offsets (worst case for the heap:
+// every step displaces the minimum).
+func BenchmarkSchedulerChurn(b *testing.B) {
+	for _, actors := range []int{4, 32, 256} {
+		b.Run(fmt.Sprintf("actors=%d", actors), func(b *testing.B) {
+			s := NewScheduler()
+			for i := 0; i < actors; i++ {
+				step := units.Time(100+i) * units.Nanosecond
+				task := s.Register(fmt.Sprintf("a%d", i), nil)
+				task.actor = StepFunc(func(now units.Time) (units.Time, bool) {
+					return now + step, true
+				})
+				s.WakeAt(task, units.Time(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			// Each RunUntil slice dispatches ~b.N/loops steps; run one
+			// horizon sized so total steps ≈ b.N.
+			perStep := 150 * units.Nanosecond / units.Time(actors)
+			if perStep <= 0 {
+				perStep = 1
+			}
+			s.RunUntil(s.Now() + units.Time(b.N)*perStep)
+			b.ReportMetric(float64(s.Steps())/float64(b.N), "steps/op")
+		})
+	}
+}
+
+// BenchmarkSchedulerSelfReschedule measures the fast-path pattern: one
+// actor far ahead of a quiet background set.
+func BenchmarkSchedulerSelfReschedule(b *testing.B) {
+	s := NewScheduler()
+	hot := s.Register("hot", StepFunc(func(now units.Time) (units.Time, bool) {
+		return now + units.Nanosecond, true
+	}))
+	for i := 0; i < 8; i++ {
+		t := s.Register(fmt.Sprintf("cold%d", i), StepFunc(func(now units.Time) (units.Time, bool) {
+			return now + units.Millisecond, true
+		}))
+		s.WakeAt(t, 0)
+	}
+	s.WakeAt(hot, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.RunUntil(s.Now() + units.Time(b.N)*units.Nanosecond)
+}

@@ -4,10 +4,19 @@
 // (CPU cores, traffic generators, NIC pacers) is an Actor stepped in global
 // timestamp order. Ties are broken by registration order, making every run
 // bit-for-bit reproducible for a given seed.
+//
+// The dispatch loop is the hottest code in the repository — every simulated
+// cell pushes millions of events through it — so the priority queue is an
+// inlined, monomorphic 4-ary min-heap on (when, seq) rather than
+// container/heap: no interface dispatch, no per-Push boxing, and a
+// shallower tree than a binary heap (packet schedules are dominated by
+// sift-downs after Pop). Because (when, seq) is a total order (seq is
+// unique), the dispatch sequence is a pure function of the schedule: any
+// correct heap — and the run-next fast path below — yields bit-identical
+// simulations.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/units"
@@ -42,12 +51,26 @@ func (t *Task) Scheduled() bool { return t.scheduled }
 // When returns the task's queued run time (meaningless if !Scheduled).
 func (t *Task) When() units.Time { return t.when }
 
+// before is the dispatch total order: earlier time first, registration
+// order on ties.
+func (t *Task) before(u *Task) bool {
+	if t.when != u.when {
+		return t.when < u.when
+	}
+	return t.seq < u.seq
+}
+
 // Scheduler orders and dispatches actor steps.
 type Scheduler struct {
-	now   units.Time
-	queue taskHeap
-	tasks []*Task
-	steps uint64
+	now      units.Time
+	queue    taskHeap
+	tasks    []*Task
+	steps    uint64
+	deadline units.Time // active RunUntil bound (see Deadline)
+
+	// fastHits counts dispatches served by the run-next fast path
+	// (diagnostics for benchmarks; not part of simulation state).
+	fastHits uint64
 }
 
 // NewScheduler returns an empty scheduler at time zero.
@@ -58,6 +81,17 @@ func (s *Scheduler) Now() units.Time { return s.now }
 
 // Steps returns the total number of actor steps dispatched so far.
 func (s *Scheduler) Steps() uint64 { return s.steps }
+
+// FastPathHits returns how many steps skipped the heap via the run-next
+// fast path (engine diagnostics).
+func (s *Scheduler) FastPathHits() uint64 { return s.fastHits }
+
+// Deadline returns the bound of the RunUntil call currently executing
+// (zero outside RunUntil). Actors that emit time-stamped work ahead of the
+// clock — the batched traffic generators — must not stamp anything past
+// this bound: events beyond it would not have been dispatched, so state
+// observed between RunUntil calls must not include them.
+func (s *Scheduler) Deadline() units.Time { return s.deadline }
 
 // Register adds an actor (initially parked) and returns its task handle.
 func (s *Scheduler) Register(name string, a Actor) *Task {
@@ -76,74 +110,143 @@ func (s *Scheduler) WakeAt(t *Task, at units.Time) {
 	if t.scheduled {
 		if at < t.when {
 			t.when = at
-			heap.Fix(&s.queue, t.index)
+			s.queue.siftUp(t.index)
 		}
 		return
 	}
 	t.when = at
 	t.scheduled = true
-	heap.Push(&s.queue, t)
+	s.queue.push(t)
 }
 
 // RunUntil dispatches steps in timestamp order until the queue is empty or
 // the next step would occur after deadline. The clock is left at the last
 // dispatched step (or at deadline if nothing ran at/after it).
 func (s *Scheduler) RunUntil(deadline units.Time) {
-	for s.queue.Len() > 0 {
+	s.deadline = deadline
+	for len(s.queue) > 0 {
 		next := s.queue[0]
 		if next.when > deadline {
 			break
 		}
-		heap.Pop(&s.queue)
+		s.queue.popMin()
 		next.scheduled = false
-		if next.when > s.now {
-			s.now = next.when
-		}
-		s.steps++
-		when, ok := next.actor.Step(s.now)
-		if ok {
+		for {
+			if next.when > s.now {
+				s.now = next.when
+			}
+			s.steps++
+			when, ok := next.actor.Step(s.now)
+			if !ok {
+				break
+			}
 			if when < s.now {
 				panic(fmt.Sprintf("sim: actor %q scheduled into the past (%v < %v)", next.name, when, s.now))
 			}
+			// Run-next fast path: if the stepped actor rescheduled itself
+			// ahead of everything queued (the dominant "self-reschedule at
+			// now+Δ" pattern of pollers, pacers, and sinks), dispatch it
+			// again directly — no push, no pop, no sift. The guard is the
+			// exact dispatch order: the task must precede the heap minimum
+			// under (when, seq), be within the deadline, and not have been
+			// re-queued by its own side effects mid-step.
+			if !next.scheduled && when <= deadline {
+				if len(s.queue) == 0 || (when < s.queue[0].when || (when == s.queue[0].when && next.seq < s.queue[0].seq)) {
+					next.when = when
+					s.fastHits++
+					continue
+				}
+			}
 			s.WakeAt(next, when)
+			break
 		}
 	}
+	s.deadline = 0
 	if s.now < deadline {
 		s.now = deadline
 	}
 }
 
 // Idle reports whether no task is queued.
-func (s *Scheduler) Idle() bool { return s.queue.Len() == 0 }
+func (s *Scheduler) Idle() bool { return len(s.queue) == 0 }
 
-// taskHeap is a min-heap on (when, seq).
+// taskHeap is an inlined 4-ary min-heap on (when, seq). Four children per
+// node halve the tree depth of the binary heap: pops — the common
+// operation under heavy same-timestamp load — trade deeper sift-downs for
+// more comparisons per level, which is a win once the comparisons are
+// monomorphic and branch-predictable.
 type taskHeap []*Task
 
-func (h taskHeap) Len() int { return len(h) }
-func (h taskHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h taskHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *taskHeap) Push(x any) {
-	t := x.(*Task)
+// push appends t and restores the heap property.
+func (h *taskHeap) push(t *Task) {
 	t.index = len(*h)
 	*h = append(*h, t)
+	h.siftUp(t.index)
 }
-func (h *taskHeap) Pop() any {
+
+// popMin removes the minimum element ((*h)[0]). The caller has already
+// read it.
+func (h *taskHeap) popMin() {
 	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
-	t.index = -1
-	*h = old[:n-1]
-	return t
+	n := len(old) - 1
+	min := old[0]
+	last := old[n]
+	old[n] = nil
+	*h = old[:n]
+	min.index = -1
+	if n > 0 {
+		old[0] = last
+		last.index = 0
+		h.siftDown(0)
+	}
+}
+
+// siftUp restores the heap property from index i toward the root.
+func (h taskHeap) siftUp(i int) {
+	t := h[i]
+	for i > 0 {
+		parent := (i - 1) >> 2
+		p := h[parent]
+		if !t.before(p) {
+			break
+		}
+		h[i] = p
+		p.index = i
+		i = parent
+	}
+	h[i] = t
+	t.index = i
+}
+
+// siftDown restores the heap property from index i toward the leaves.
+func (h taskHeap) siftDown(i int) {
+	n := len(h)
+	t := h[i]
+	for {
+		first := i<<2 + 1 // leftmost child
+		if first >= n {
+			break
+		}
+		// Find the smallest of up to four children.
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h[c].before(h[min]) {
+				min = c
+			}
+		}
+		if !h[min].before(t) {
+			break
+		}
+		h[i] = h[min]
+		h[i].index = i
+		i = min
+	}
+	h[i] = t
+	t.index = i
 }
 
 // StepFunc adapts a function to the Actor interface.

@@ -55,10 +55,19 @@ type Generator struct {
 	nextProbe units.Time
 	nextDue   units.Time // rate-mode pacing
 
+	// tmpls caches one pre-serialized frame image per (frameLen, flow);
+	// emitted buffers reference it lazily instead of being built. The
+	// single-flow fixed-size common case bypasses the map via lastTmpl.
+	tmpls    map[tmplKey]*pkt.Template
+	lastKey  tmplKey
+	lastTmpl *pkt.Template
+
 	// Sent counts emitted frames; SentProbes the probe subset.
 	Sent       int64
 	SentProbes int64
 }
+
+type tmplKey struct{ frameLen, flow int }
 
 // NewGenerator registers a generator with the scheduler (idle until Start).
 func NewGenerator(s *sim.Scheduler, cfg Config) *Generator {
@@ -77,53 +86,79 @@ func (g *Generator) Start(at units.Time) {
 	g.sched.WakeAt(g.task, at)
 }
 
+// template returns the cached frame image for (frameLen, flow).
+func (g *Generator) template(frameLen, flow int) *pkt.Template {
+	k := tmplKey{frameLen, flow}
+	if k == g.lastKey && g.lastTmpl != nil {
+		return g.lastTmpl
+	}
+	t, ok := g.tmpls[k]
+	if !ok {
+		spec := g.cfg.Spec
+		spec.FrameLen = frameLen
+		t = spec.Template(flow)
+		if g.tmpls == nil {
+			g.tmpls = map[tmplKey]*pkt.Template{}
+		}
+		g.tmpls[k] = t
+	}
+	g.lastKey, g.lastTmpl = k, t
+	return t
+}
+
+// emitOne builds and transmits one frame stamped at time at, reporting
+// whether the burst should continue (false: TX ring full). Ordering of the
+// sequence counter, IMIX size cycle, flow assignment, and probe marking is
+// load-bearing: it fixes the exact byte content and metadata of frame
+// g.seq+1 and must not change.
+func (g *Generator) emitOne(at units.Time) bool {
+	port := g.cfg.Port
+	if port.TxFree(at) == 0 {
+		return false
+	}
+	frameLen := g.cfg.Spec.FrameLen
+	if g.cfg.IMIX {
+		frameLen = imixSizes[g.seq%uint64(len(imixSizes))]
+	}
+	g.seq++
+	flow := 0
+	if g.cfg.Flows > 1 {
+		flow = int(g.seq) % g.cfg.Flows
+	}
+	b := g.cfg.Pool.Get(frameLen)
+	b.SetTemplate(g.template(frameLen, flow))
+	b.Seq = g.seq
+	if g.cfg.ProbeEvery > 0 && at >= g.nextProbe {
+		var ts units.Time // 0: the NIC stamps on the wire
+		if g.cfg.SWTimestamp {
+			ts = at
+		}
+		pkt.MarkProbe(b, g.seq, ts)
+		g.nextProbe = at + g.cfg.ProbeEvery
+		g.SentProbes++
+	}
+	if !port.SendAt(at, b) {
+		b.Free()
+		return false
+	}
+	g.Sent++
+	return true
+}
+
 // Step implements sim.Actor: emit one burst (saturating mode) or one
-// CBR-spaced frame (rate mode, as MoonGen paces) and reschedule.
+// CBR-spaced batch (rate mode, as MoonGen paces) and reschedule.
 func (g *Generator) Step(now units.Time) (units.Time, bool) {
 	port := g.cfg.Port
-	burst := g.cfg.Burst
-	if g.cfg.Rate > 0 {
-		burst = 1
-	} else {
+	if g.cfg.Rate <= 0 {
 		// Saturating mode keeps the TX ring topped up so the wire never
 		// idles on the doorbell latency (MoonGen queues descriptors
 		// ahead of the NIC).
-		burst = 4 * g.cfg.Burst
-	}
-	for i := 0; i < burst; i++ {
-		if port.TxFree(now) == 0 {
-			break
-		}
-		spec := g.cfg.Spec
-		if g.cfg.IMIX {
-			spec.FrameLen = imixSizes[g.seq%uint64(len(imixSizes))]
-		}
-		b := g.cfg.Pool.Get(spec.FrameLen)
-		spec.Build(b)
-		g.seq++
-		b.Seq = g.seq
-		if g.cfg.Flows > 1 {
-			flow := int(g.seq) % g.cfg.Flows
-			pkt.PatchFlow(b, g.cfg.Spec, flow)
-		}
-		if g.cfg.ProbeEvery > 0 && now >= g.nextProbe {
-			var ts units.Time // 0: the NIC stamps on the wire
-			if g.cfg.SWTimestamp {
-				ts = now
+		for i := 0; i < 4*g.cfg.Burst; i++ {
+			if !g.emitOne(now) {
+				break
 			}
-			pkt.MarkProbe(b, g.seq, ts)
-			g.nextProbe = now + g.cfg.ProbeEvery
-			g.SentProbes++
 		}
-		if !port.Send(now, b) {
-			b.Free()
-			break
-		}
-		g.Sent++
-	}
-	if g.cfg.Rate <= 0 {
-		// Saturating mode: return before the queued frames drain so the
-		// ring never empties.
+		// Return before the queued frames drain so the ring never empties.
 		next := now + units.Time(g.cfg.Burst)*port.Rate().WireTime(g.cfg.Spec.FrameLen)/2
 		if until := port.BusyUntil(); until > now && until-now < next-now {
 			// Ring nearly empty: catch up immediately.
@@ -134,10 +169,23 @@ func (g *Generator) Step(now units.Time) (units.Time, bool) {
 		}
 		return next, true
 	}
-	// Rate mode: constant bit rate, one frame interval at a time.
-	g.nextDue += g.cfg.Rate.WireTime(g.cfg.Spec.FrameLen)
-	if g.nextDue <= now {
-		g.nextDue = now + units.Nanosecond
+	// Rate mode: constant bit rate. One scheduler step emits up to Burst
+	// frames, each stamped with its own CBR due time via SendAt, never past
+	// the dispatch deadline: this is bit-identical to one step per frame
+	// because the unbatched engine dispatched the generator at exactly
+	// these instants (the TX port is touched only by its generator, and
+	// everything downstream keys off the frame's stamp, not the clock).
+	deadline := g.sched.Deadline()
+	for i := 0; i < g.cfg.Burst; i++ {
+		due := g.nextDue
+		if i > 0 && due > deadline {
+			break
+		}
+		g.emitOne(due)
+		g.nextDue += g.cfg.Rate.WireTime(g.cfg.Spec.FrameLen)
+		if g.nextDue <= due {
+			g.nextDue = due + units.Nanosecond
+		}
 	}
 	return g.nextDue, true
 }

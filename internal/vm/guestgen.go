@@ -31,6 +31,7 @@ type Generator struct {
 	seq       uint64
 	nextProbe units.Time
 	nextDue   units.Time
+	tmpl      *pkt.Template // lazily built frame image for Spec
 
 	// Sent counts emitted frames.
 	Sent int64
@@ -63,8 +64,11 @@ func (g *Generator) Step(now units.Time) (units.Time, bool) {
 		burst = 1
 	}
 	for i := 0; i < burst; i++ {
+		if g.tmpl == nil {
+			g.tmpl = g.Spec.Template(0)
+		}
 		b := g.Pool.Get(g.Spec.FrameLen)
-		g.Spec.Build(b)
+		b.SetTemplate(g.tmpl)
 		g.seq++
 		b.Seq = g.seq
 		if g.ProbeEvery > 0 && now >= g.nextProbe {
