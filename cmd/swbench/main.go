@@ -28,6 +28,9 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: swbench <list|run|rplus|figure|table|all> [flags]")
 	fmt.Fprintln(os.Stderr, "  swbench list")
 	fmt.Fprintln(os.Stderr, "  swbench run -switch vpp -scenario p2p|p2v|v2v|loopback [-size N] [-bidir] [-chain N] [-rate-gbps G] [-latency]")
+	fmt.Fprintln(os.Stderr, "  swbench run -switch vpp -topology graph.json          # custom topology as the scenario")
+	fmt.Fprintln(os.Stderr, "  swbench topo [-file graph.json | -scenario p2p [-chain N] [-bidir] [-reversed] [-latency-topology]]")
+	fmt.Fprintln(os.Stderr, "               [-format json|dot] [-validate]           # compile and print a topology")
 	fmt.Fprintln(os.Stderr, "  swbench rplus -switch vpp -scenario p2p")
 	fmt.Fprintln(os.Stderr, "  swbench ndr -switch vpp -scenario p2p [-loss-tolerance N]")
 	fmt.Fprintln(os.Stderr, "  swbench windows -switch snabb -n 10      # windowed time series")
@@ -50,6 +53,8 @@ func main() {
 		swbench.RenderTable1(os.Stdout)
 	case "run":
 		err = runCmd(os.Args[2:])
+	case "topo":
+		err = topoCmd(os.Args[2:])
 	case "rplus":
 		err = rplusCmd(os.Args[2:])
 	case "ndr":
@@ -107,14 +112,28 @@ func runCmd(args []string) error {
 	fs.BoolVar(&cfg.Containers, "containers", false, "host VNFs in containers instead of VMs")
 	fs.StringVar(&cfg.CapturePath, "pcap", "", "dump delivered frames to this pcap file")
 	fs.BoolVar(&cfg.IMIX, "imix", false, "classic IMIX frame-size mix instead of -size")
+	topoFile := fs.String("topology", "", "JSON topology graph file (runs it as the custom scenario)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	scn, err := parseScenario(*scenario)
-	if err != nil {
-		return err
+	if *topoFile != "" {
+		data, err := os.ReadFile(*topoFile)
+		if err != nil {
+			return err
+		}
+		g, err := swbench.ParseTopology(data)
+		if err != nil {
+			return err
+		}
+		cfg.Scenario = swbench.Custom
+		cfg.Topology = g
+	} else {
+		scn, err := parseScenario(*scenario)
+		if err != nil {
+			return err
+		}
+		cfg.Scenario = scn
 	}
-	cfg.Scenario = scn
 	cfg.Rate = swbench.BitRate(*rate * 1e9)
 	cfg.Duration = swbench.Time(*durationMs * float64(swbench.Millisecond))
 	cfg.Seed = *seed

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	swbench "repro"
+)
+
+// topoCmd compiles a topology — one of the paper's scenarios or a JSON
+// graph file — and prints it as a materialization plan (JSON) or
+// Graphviz DOT, or just validates it.
+func topoCmd(args []string) error {
+	fs := flag.NewFlagSet("topo", flag.ExitOnError)
+	file := fs.String("file", "", "JSON topology graph file (overrides -scenario)")
+	scenario := fs.String("scenario", "p2p", "p2p, p2v, v2v, or loopback")
+	chain := fs.Int("chain", 1, "loopback VNF chain length")
+	bidir := fs.Bool("bidir", false, "bidirectional traffic")
+	reversed := fs.Bool("reversed", false, "p2v only: the VM-to-NIC direction")
+	latTopo := fs.Bool("latency-topology", false, "v2v only: the latency wiring (two ifs per VM, l2fwd reflector)")
+	format := fs.String("format", "json", "json (compiled plan) or dot (Graphviz)")
+	validate := fs.Bool("validate", false, "validate and compile only; print a one-line summary")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var g *swbench.Topology
+	if *file != "" {
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		if g, err = swbench.ParseTopology(data); err != nil {
+			return err
+		}
+	} else {
+		scn, err := parseScenario(*scenario)
+		if err != nil {
+			return err
+		}
+		cfg := swbench.Config{
+			Scenario: scn, Chain: *chain,
+			Bidir: *bidir, Reversed: *reversed, LatencyTopology: *latTopo,
+		}
+		if g, err = cfg.Graph(); err != nil {
+			return err
+		}
+	}
+
+	plan, err := swbench.PlanTopology(g)
+	if err != nil {
+		return err
+	}
+	if *validate {
+		fmt.Printf("topology %q: ok (%d SUT ports, %d cross-connects, %d actors)\n",
+			g.Name, len(plan.Ports), len(plan.Crosses), len(plan.Actors))
+		return nil
+	}
+	switch *format {
+	case "dot":
+		out, err := swbench.TopologyDOT(g)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+	case "json":
+		blob, err := json.MarshalIndent(plan, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+	default:
+		return fmt.Errorf("unknown format %q (want json or dot)", *format)
+	}
+	return nil
+}

@@ -10,18 +10,21 @@ import (
 	"fmt"
 
 	"repro/internal/stats"
+	"repro/internal/topo"
 	"repro/internal/units"
 )
 
-// ScenarioKind selects one of the paper's four test scenarios (Fig. 2).
+// ScenarioKind selects one of the paper's four test scenarios (Fig. 2),
+// or Custom for a user-supplied topology graph.
 type ScenarioKind int
 
-// The four scenarios.
+// The four paper scenarios, plus the declarative fifth.
 const (
 	P2P      ScenarioKind = iota // physical → physical
 	P2V                          // physical → virtual
 	V2V                          // virtual → virtual
 	Loopback                     // NIC → VNF chain → NIC
+	Custom                       // user-supplied topology graph (Config.Topology)
 )
 
 // String implements fmt.Stringer.
@@ -35,6 +38,8 @@ func (k ScenarioKind) String() string {
 		return "v2v"
 	case Loopback:
 		return "loopback"
+	case Custom:
+		return "custom"
 	default:
 		return fmt.Sprintf("ScenarioKind(%d)", int(k))
 	}
@@ -75,6 +80,13 @@ type Config struct {
 	// VM with an l2fwd reflector, §5.3) instead of the v2v throughput
 	// wiring.
 	LatencyTopology bool
+
+	// Topology is the declarative graph run by the Custom scenario —
+	// arbitrary chains, fan-out, and asymmetric paths beyond the
+	// paper's four wirings (see internal/topo and `swbench topo`). It
+	// must be nil for the named scenarios, whose graphs derive from the
+	// fields above (Config.Graph).
+	Topology *topo.Graph `json:",omitempty"`
 
 	// Containers hosts the VNFs in containers instead of QEMU VMs (the
 	// paper's second future-work item): cheaper virtio crossings and
@@ -123,25 +135,40 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-// Validate reports configuration errors without running anything.
+// Validate reports configuration errors without running anything. Every
+// violation found is reported, joined into one error, not just the
+// first — a config fixed iteratively surfaces all its problems at once.
 func (cfg Config) Validate() error {
 	c := cfg.withDefaults()
+	var errs []error
 	if c.FrameLen < 64 || c.FrameLen > units.MaxFrameBytes {
-		return fmt.Errorf("core: frame length %d outside [64, %d]", c.FrameLen, units.MaxFrameBytes)
+		errs = append(errs, fmt.Errorf("core: frame length %d outside [64, %d]", c.FrameLen, units.MaxFrameBytes))
 	}
 	if c.Scenario == Loopback && c.Chain < 1 {
-		return errors.New("core: loopback needs a chain of at least 1 VNF")
+		errs = append(errs, errors.New("core: loopback needs a chain of at least 1 VNF"))
 	}
 	if c.Reversed && c.Scenario != P2V {
-		return errors.New("core: Reversed applies to p2v only")
+		errs = append(errs, errors.New("core: Reversed applies to p2v only"))
 	}
 	if c.LatencyTopology && c.Scenario != V2V {
-		return errors.New("core: LatencyTopology applies to v2v only")
+		errs = append(errs, errors.New("core: LatencyTopology applies to v2v only"))
 	}
 	if c.SUTCores < 1 {
-		return errors.New("core: SUTCores must be at least 1")
+		errs = append(errs, errors.New("core: SUTCores must be at least 1"))
 	}
-	return nil
+	switch {
+	case c.Scenario == Custom && c.Topology == nil:
+		errs = append(errs, errors.New("core: the custom scenario needs a Topology graph"))
+	case c.Scenario != Custom && c.Topology != nil:
+		errs = append(errs, fmt.Errorf("core: Topology applies to the custom scenario only (got %v)", c.Scenario))
+	case c.Topology != nil:
+		// The graph validator reports its own joined list: dangling
+		// edges, duplicate node names, missing endpoints, ...
+		if err := c.Topology.Validate(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // ErrChainTooLong reports a switch-specific VM-count limit (BESS's QEMU

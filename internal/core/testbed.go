@@ -186,6 +186,12 @@ func build(cfg Config) (*testbed, error) {
 	return tb, nil
 }
 
+// attach hands a SUT port to the switch and returns its port index.
+func (tb *testbed) attach(sp *sutPort) int {
+	tb.portCount++
+	return tb.sw.AddPort(sp.dev)
+}
+
 // nicRing returns the SUT-side descriptor ring size (Table 2 tunings).
 func (tb *testbed) nicRing() int {
 	if tb.info.RxRingOverride > 0 {

@@ -1,0 +1,131 @@
+package topo
+
+import "fmt"
+
+// NoPort marks an absent port reference in Assembler calls (e.g. a VNF
+// direction with no destination-MAC rewrite).
+const NoPort = -1
+
+// Assembler is the target a compiled graph is materialized into. The
+// compiler calls it in a fixed order — every attachable node in node
+// order (AddPhysPair/AddGuestIf return the SUT port index), every
+// cross-connect in edge order, then every endpoint in node order — so
+// two assemblers fed the same graph build identical structures.
+//
+// Port arguments are SUT port indices as returned by the Add methods.
+// Egress is the cross-connect peer of the injection port: the port the
+// generated traffic is addressed to (its MAC/IP/UDP tuple derives from
+// the (at, egress) pair). VNF rewrite arguments are the egress ports of
+// the two forwarding directions, or NoPort for "leave the destination
+// MAC alone".
+type Assembler interface {
+	// AddPhysPair creates a SUT NIC port wired to a generator-side NIC
+	// port and attaches the SUT side to the switch.
+	AddPhysPair(name string) (port int, err error)
+	// AddGuestIf creates one guest interface of VM vm and attaches its
+	// host side to the switch.
+	AddGuestIf(name, vm string) (port int, err error)
+	// CrossConnect installs bidirectional L2 forwarding between two
+	// attached ports.
+	CrossConnect(a, b int) error
+	// Generator starts a NIC-side traffic source on the generator NIC
+	// of the phys pair holding port at.
+	Generator(name string, at, egress int, probes bool) error
+	// GuestGenerator starts a guest-side traffic source on the guest
+	// interface holding port at.
+	GuestGenerator(name string, at, egress int, probes bool) error
+	// Sink starts a NIC-side counting endpoint on the generator NIC of
+	// the phys pair holding port at.
+	Sink(name string, at int) error
+	// Monitor starts a guest-side counting endpoint on the guest
+	// interface holding port at.
+	Monitor(name string, at int) error
+	// VNF starts a forwarding network function bridging the guest
+	// interfaces at ports a and b. srcMAC is the port whose MAC the VNF
+	// writes as Ethernet source; rewriteAB/rewriteBA are the ports
+	// whose MACs it writes as destination per direction (NoPort: no
+	// rewrite). app is "", "l2fwd", or "vale" (see Node.App).
+	VNF(name string, a, b, srcMAC, rewriteAB, rewriteBA int, app string) error
+}
+
+// Compile validates g and materializes it into asm. It subsumes what the
+// legacy per-scenario wiring functions each duplicated by hand: port
+// attachment order, cross-connect installation, generator frame-spec
+// steering (egress = the injection port's cross-connect peer), and the
+// chain MAC-rewrite computation (each VNF direction rewrites to the
+// cross-connect peer of its egress interface).
+func Compile(g *Graph, asm Assembler) error {
+	r, err := g.resolve()
+	if err != nil {
+		return err
+	}
+
+	// Pass 1: attach ports, in node order.
+	ports := make(map[string]int, len(r.nodes))
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		var p int
+		var err error
+		switch n.Kind {
+		case KindPhysPair:
+			p, err = asm.AddPhysPair(n.Name)
+		case KindGuestIf:
+			p, err = asm.AddGuestIf(n.Name, vmOf(n))
+		default:
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("topo: attaching %q: %w", n.Name, err)
+		}
+		ports[n.Name] = p
+	}
+
+	// Pass 2: cross-connects, in edge order.
+	for _, e := range r.crosses {
+		if err := asm.CrossConnect(ports[e.A], ports[e.B]); err != nil {
+			return fmt.Errorf("topo: cross-connecting %q—%q: %w", e.A, e.B, err)
+		}
+	}
+	// egress returns the port traffic leaving SUT port name is steered
+	// to: its cross-connect peer, or NoPort if unconnected.
+	egress := func(name string) int {
+		if p, ok := r.peer[name]; ok {
+			return ports[p]
+		}
+		return NoPort
+	}
+
+	// Pass 3: endpoints, in node order.
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		var err error
+		switch n.Kind {
+		case KindGenerator:
+			if r.byName[n.At].Kind == KindPhysPair {
+				err = asm.Generator(n.Name, ports[n.At], egress(n.At), n.Probes)
+			} else {
+				err = asm.GuestGenerator(n.Name, ports[n.At], egress(n.At), n.Probes)
+			}
+		case KindSink:
+			err = asm.Sink(n.Name, ports[n.At])
+		case KindMonitor:
+			err = asm.Monitor(n.Name, ports[n.At])
+		case KindVNF:
+			srcIf := n.SrcMACIf
+			if srcIf == "" {
+				srcIf = n.A
+			}
+			rewBA := NoPort
+			if !n.OneWay {
+				rewBA = egress(n.A)
+			}
+			err = asm.VNF(n.Name, ports[n.A], ports[n.B], ports[srcIf], egress(n.B), rewBA, n.App)
+		default:
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("topo: placing %q: %w", n.Name, err)
+		}
+	}
+	return nil
+}

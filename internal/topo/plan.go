@@ -1,0 +1,206 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlanPort is one attached SUT port of a compiled plan.
+type PlanPort struct {
+	Index int      `json:"index"`
+	Node  string   `json:"node"`
+	Kind  NodeKind `json:"kind"`
+	VM    string   `json:"vm,omitempty"`
+}
+
+// PlanCross is one installed cross-connect.
+type PlanCross struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
+
+// PlanActor is one placed traffic endpoint or VNF. Port references are
+// SUT port indices; NoPort (-1) means absent or not applicable.
+type PlanActor struct {
+	Name   string   `json:"name"`
+	Kind   NodeKind `json:"kind"`
+	Guest  bool     `json:"guest,omitempty"` // generator: guest-side
+	At     int      `json:"at"`              // generator/sink/monitor
+	Egress int      `json:"egress"`          // generator steering
+	Probes bool     `json:"probes,omitempty"`
+
+	A         int    `json:"a"` // vnf ports
+	B         int    `json:"b"`
+	SrcMAC    int    `json:"src_mac"`    // vnf source-MAC port
+	RewriteAB int    `json:"rewrite_ab"` // vnf per-direction rewrites
+	RewriteBA int    `json:"rewrite_ba"`
+	App       string `json:"app,omitempty"`
+}
+
+// nonActor returns a PlanActor with every port reference absent.
+func nonActor(name string, kind NodeKind) PlanActor {
+	return PlanActor{
+		Name: name, Kind: kind,
+		At: NoPort, Egress: NoPort,
+		A: NoPort, B: NoPort, SrcMAC: NoPort,
+		RewriteAB: NoPort, RewriteBA: NoPort,
+	}
+}
+
+// Plan records the materialization steps of a compiled graph, in
+// execution order. It implements Assembler, so compiling a graph into a
+// Plan yields exactly the port indices, cross-connect pairs, steering,
+// and MAC-rewrite decisions the testbed assembler would make — without
+// building a testbed. That makes it the medium for validation (swbench
+// topo -validate), rendering (DOT/JSON), and wiring-equivalence tests.
+type Plan struct {
+	Topology string      `json:"topology,omitempty"`
+	Ports    []PlanPort  `json:"ports"`
+	Crosses  []PlanCross `json:"cross_connects"`
+	Actors   []PlanActor `json:"actors"`
+}
+
+var _ Assembler = (*Plan)(nil)
+
+// NewPlan compiles g into a fresh Plan.
+func NewPlan(g *Graph) (*Plan, error) {
+	p := &Plan{Topology: g.Name}
+	if err := Compile(g, p); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// AddPhysPair implements Assembler.
+func (p *Plan) AddPhysPair(name string) (int, error) {
+	idx := len(p.Ports)
+	p.Ports = append(p.Ports, PlanPort{Index: idx, Node: name, Kind: KindPhysPair})
+	return idx, nil
+}
+
+// AddGuestIf implements Assembler.
+func (p *Plan) AddGuestIf(name, vm string) (int, error) {
+	idx := len(p.Ports)
+	p.Ports = append(p.Ports, PlanPort{Index: idx, Node: name, Kind: KindGuestIf, VM: vm})
+	return idx, nil
+}
+
+// CrossConnect implements Assembler.
+func (p *Plan) CrossConnect(a, b int) error {
+	p.Crosses = append(p.Crosses, PlanCross{A: a, B: b})
+	return nil
+}
+
+// Generator implements Assembler.
+func (p *Plan) Generator(name string, at, egress int, probes bool) error {
+	a := nonActor(name, KindGenerator)
+	a.At, a.Egress, a.Probes = at, egress, probes
+	p.Actors = append(p.Actors, a)
+	return nil
+}
+
+// GuestGenerator implements Assembler.
+func (p *Plan) GuestGenerator(name string, at, egress int, probes bool) error {
+	a := nonActor(name, KindGenerator)
+	a.Guest = true
+	a.At, a.Egress, a.Probes = at, egress, probes
+	p.Actors = append(p.Actors, a)
+	return nil
+}
+
+// Sink implements Assembler.
+func (p *Plan) Sink(name string, at int) error {
+	a := nonActor(name, KindSink)
+	a.At = at
+	p.Actors = append(p.Actors, a)
+	return nil
+}
+
+// Monitor implements Assembler.
+func (p *Plan) Monitor(name string, at int) error {
+	a := nonActor(name, KindMonitor)
+	a.At = at
+	p.Actors = append(p.Actors, a)
+	return nil
+}
+
+// VNF implements Assembler.
+func (p *Plan) VNF(name string, a, b, srcMAC, rewriteAB, rewriteBA int, app string) error {
+	pa := nonActor(name, KindVNF)
+	pa.A, pa.B, pa.SrcMAC = a, b, srcMAC
+	pa.RewriteAB, pa.RewriteBA, pa.App = rewriteAB, rewriteBA, app
+	p.Actors = append(p.Actors, pa)
+	return nil
+}
+
+// DOT renders a validated graph as Graphviz DOT: SUT ports as boxes
+// (guest ifs clustered per VM), endpoints as ellipses, cross-connects as
+// bold edges, wires and vifs as plain and dashed edges.
+func DOT(g *Graph) (string, error) {
+	r, err := g.resolve()
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	name := g.Name
+	if name == "" {
+		name = "topology"
+	}
+	fmt.Fprintf(&sb, "graph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", name)
+
+	// Guest ifs grouped into VM clusters.
+	vms := map[string][]*Node{}
+	var vmOrder []string
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		if n.Kind != KindGuestIf {
+			continue
+		}
+		vm := vmOf(n)
+		if _, seen := vms[vm]; !seen {
+			vmOrder = append(vmOrder, vm)
+		}
+		vms[vm] = append(vms[vm], n)
+	}
+	for i, vm := range vmOrder {
+		fmt.Fprintf(&sb, "  subgraph cluster_vm%d {\n    label=%q;\n    style=rounded;\n", i, vm)
+		for _, n := range vms[vm] {
+			fmt.Fprintf(&sb, "    %q [shape=box];\n", n.Name)
+		}
+		fmt.Fprintf(&sb, "  }\n")
+	}
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		switch n.Kind {
+		case KindPhysPair:
+			fmt.Fprintf(&sb, "  %q [shape=box, style=filled, fillcolor=lightgrey];\n", n.Name)
+		case KindGenerator:
+			fmt.Fprintf(&sb, "  %q [shape=ellipse, label=\"%s\\n(generator)\"];\n", n.Name, n.Name)
+		case KindSink:
+			fmt.Fprintf(&sb, "  %q [shape=ellipse, label=\"%s\\n(sink)\"];\n", n.Name, n.Name)
+		case KindMonitor:
+			fmt.Fprintf(&sb, "  %q [shape=ellipse, label=\"%s\\n(monitor)\"];\n", n.Name, n.Name)
+		case KindVNF:
+			fmt.Fprintf(&sb, "  %q [shape=component, label=\"%s\\n(vnf)\"];\n", n.Name, n.Name)
+		}
+	}
+	for _, e := range r.crosses {
+		fmt.Fprintf(&sb, "  %q -- %q [style=bold, label=\"x-conn\"];\n", e.A, e.B)
+	}
+	for i := range r.nodes {
+		n := &r.nodes[i]
+		switch n.Kind {
+		case KindGenerator, KindSink, KindMonitor:
+			style := "dashed" // vif
+			if r.byName[n.At].Kind == KindPhysPair {
+				style = "solid" // wire
+			}
+			fmt.Fprintf(&sb, "  %q -- %q [style=%s];\n", n.Name, n.At, style)
+		case KindVNF:
+			fmt.Fprintf(&sb, "  %q -- %q [style=dashed, label=\"a\"];\n", n.Name, n.A)
+			fmt.Fprintf(&sb, "  %q -- %q [style=dashed, label=\"b\"];\n", n.Name, n.B)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String(), nil
+}

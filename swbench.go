@@ -10,6 +10,7 @@ import (
 	"repro/internal/pkt"
 	"repro/internal/stats"
 	"repro/internal/switches/switchdef"
+	"repro/internal/topo"
 	"repro/internal/units"
 )
 
@@ -29,13 +30,44 @@ type (
 	Summary = stats.Summary
 )
 
-// The four test scenarios (paper Fig. 2).
+// The four test scenarios (paper Fig. 2), plus Custom, which runs a
+// user-supplied Topology graph.
 const (
 	P2P      = core.P2P
 	P2V      = core.P2V
 	V2V      = core.V2V
 	Loopback = core.Loopback
+	Custom   = core.Custom
 )
+
+// Topology IR: every scenario — the paper's four and any custom wiring —
+// is a declarative graph of typed nodes (physical port pairs, guest
+// interfaces, VNFs, generators, sinks, monitors) and edges
+// (cross-connects, wires, vifs) that one compiler materializes into a
+// testbed. Config.Graph returns a named scenario's graph; a Custom
+// scenario runs Config.Topology directly (see internal/topo and
+// examples/customtopo).
+type (
+	// Topology is a declarative testbed graph.
+	Topology = topo.Graph
+	// TopologyNode is one typed node of a Topology.
+	TopologyNode = topo.Node
+	// TopologyEdge is one typed edge of a Topology.
+	TopologyEdge = topo.Edge
+	// TopologyPlan is a compiled topology: the exact port indices,
+	// cross-connects, steering, and MAC rewrites the testbed will install.
+	TopologyPlan = topo.Plan
+)
+
+// ParseTopology parses and validates a JSON topology graph.
+func ParseTopology(data []byte) (*Topology, error) { return topo.Parse(data) }
+
+// PlanTopology compiles a validated graph into its materialization plan
+// without building a testbed.
+func PlanTopology(g *Topology) (*TopologyPlan, error) { return topo.NewPlan(g) }
+
+// TopologyDOT renders a topology graph as Graphviz DOT.
+func TopologyDOT(g *Topology) (string, error) { return topo.DOT(g) }
 
 // Time and rate units (picosecond-resolution simulated time).
 type (
