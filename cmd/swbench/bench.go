@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bench"
 )
@@ -15,16 +16,22 @@ func benchCmd(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	quick := fs.Bool("quick", false, "short simulation windows")
 	repeats := fs.Int("repeats", 3, "runs per cell (best wall time wins)")
+	cells := fs.String("cells", "", "comma-separated cell names to run (default: all)")
 	out := fs.String("out", "", "write the report (or comparison, with -baseline) as JSON to this path")
 	baselinePath := fs.String("baseline", "", "merge against this saved report into a baseline-vs-optimized comparison")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var only []string
+	if *cells != "" {
+		only = strings.Split(*cells, ",")
+	}
 	rep, err := bench.Run(bench.Options{
 		Opts:     bench.DefaultOpts(*quick),
 		Quick:    *quick,
 		Repeats:  *repeats,
+		Cells:    only,
 		Progress: os.Stderr,
 	})
 	if err != nil {

@@ -31,9 +31,9 @@ type Cell struct {
 }
 
 // Cells returns the representative workload set: the stress cell every
-// switch paper plots first (p2p at 64B), the vhost-heavy v2v path, and a
-// 4-VNF loopback chain (the deepest pipeline the paper measures for every
-// switch).
+// switch paper plots first (p2p at 64B), the three vhost-heavy guest
+// paths (p2v, v2v, and a 4-VNF loopback chain — the deepest pipeline the
+// paper measures for every switch).
 func Cells(o core.RunOpts) []Cell {
 	mk := func(name string, cfg core.Config) Cell {
 		return Cell{Name: name, Cfg: o.Apply(cfg)}
@@ -41,6 +41,7 @@ func Cells(o core.RunOpts) []Cell {
 	return []Cell{
 		mk("p2p-64B", core.Config{Switch: "vpp", Scenario: core.P2P, FrameLen: 64}),
 		mk("p2p-64B-bess", core.Config{Switch: "bess", Scenario: core.P2P, FrameLen: 64}),
+		mk("p2v-64B", core.Config{Switch: "vpp", Scenario: core.P2V, FrameLen: 64}),
 		mk("v2v-64B", core.Config{Switch: "vpp", Scenario: core.V2V, FrameLen: 64}),
 		mk("loopback-4", core.Config{Switch: "vpp", Scenario: core.Loopback, Chain: 4, FrameLen: 64}),
 	}
@@ -65,12 +66,12 @@ type CellResult struct {
 
 // Report is one engine build's full measurement.
 type Report struct {
-	Schema  string  `json:"schema"`
-	GoArch  string  `json:"goarch"`
-	GoOS    string  `json:"goos"`
-	CPUs    int     `json:"cpus"`
-	Quick   bool    `json:"quick"`
-	Repeats int     `json:"repeats"`
+	Schema  string       `json:"schema"`
+	GoArch  string       `json:"goarch"`
+	GoOS    string       `json:"goos"`
+	CPUs    int          `json:"cpus"`
+	Quick   bool         `json:"quick"`
+	Repeats int          `json:"repeats"`
 	Cells   []CellResult `json:"cells"`
 }
 
@@ -84,6 +85,9 @@ type Options struct {
 	// Repeats is how many times each cell runs; the best wall time wins
 	// (default 3).
 	Repeats int
+	// Cells, when non-empty, restricts the run to the named cells (CI
+	// smoke runs a single quick guest-path cell this way).
+	Cells []string
 	// Progress, when non-nil, receives one line per finished cell.
 	Progress io.Writer
 }
@@ -101,7 +105,21 @@ func Run(opts Options) (*Report, error) {
 		Quick:   opts.Quick,
 		Repeats: opts.Repeats,
 	}
+	selected := 0
 	for _, cell := range Cells(opts.Opts) {
+		if len(opts.Cells) > 0 {
+			found := false
+			for _, want := range opts.Cells {
+				if cell.Name == want {
+					found = true
+					break
+				}
+			}
+			if !found {
+				continue
+			}
+		}
+		selected++
 		cr, err := runCell(cell, opts.Repeats)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", cell.Name, err)
@@ -111,6 +129,9 @@ func Run(opts Options) (*Report, error) {
 				cr.Name, cr.WallSeconds*1e3, cr.EventsPerSec/1e6, cr.SimPktPerSec/1e6)
 		}
 		rep.Cells = append(rep.Cells, cr)
+	}
+	if len(opts.Cells) > 0 && selected != len(opts.Cells) {
+		return nil, fmt.Errorf("bench: cell filter %v matched %d of %d names", opts.Cells, selected, len(opts.Cells))
 	}
 	return rep, nil
 }
@@ -154,15 +175,17 @@ func runCell(cell Cell, repeats int) (CellResult, error) {
 
 // Comparison merges a baseline report with an optimized one, cell by cell.
 type Comparison struct {
-	Schema    string           `json:"schema"`
-	GoArch    string           `json:"goarch"`
-	GoOS      string           `json:"goos"`
-	CPUs      int              `json:"cpus"`
-	Quick     bool             `json:"quick"`
-	Cells     []ComparisonCell `json:"cells"`
-	// HostSpeedupP2P64B is the headline number: baseline wall / optimized
-	// wall on the p2p-64B cell.
-	HostSpeedupP2P64B float64 `json:"host_speedup_p2p_64b"`
+	Schema string           `json:"schema"`
+	GoArch string           `json:"goarch"`
+	GoOS   string           `json:"goos"`
+	CPUs   int              `json:"cpus"`
+	Quick  bool             `json:"quick"`
+	Cells  []ComparisonCell `json:"cells"`
+	// Headline numbers: baseline wall / optimized wall on the host p2p
+	// cell and the two guest-path cells.
+	HostSpeedupP2P64B    float64 `json:"host_speedup_p2p_64b"`
+	HostSpeedupV2V64B    float64 `json:"host_speedup_v2v_64b"`
+	HostSpeedupLoopback4 float64 `json:"host_speedup_loopback_4"`
 }
 
 // ComparisonCell pairs one cell's baseline and optimized measurements.
@@ -210,8 +233,13 @@ func Compare(baseline, optimized *Report) (*Comparison, error) {
 		if oc.WallSeconds > 0 {
 			cc.HostSpeedup = bc.WallSeconds / oc.WallSeconds
 		}
-		if oc.Name == "p2p-64B" {
+		switch oc.Name {
+		case "p2p-64B":
 			cmp.HostSpeedupP2P64B = cc.HostSpeedup
+		case "v2v-64B":
+			cmp.HostSpeedupV2V64B = cc.HostSpeedup
+		case "loopback-4":
+			cmp.HostSpeedupLoopback4 = cc.HostSpeedup
 		}
 		cmp.Cells = append(cmp.Cells, cc)
 	}

@@ -63,7 +63,7 @@ func (a *assembler) AddGuestIf(name, vmName string) (int, error) {
 		pool = a.tb.newPool(bufSize)
 		a.vmPools[vmName] = pool
 	}
-	sp, ifc := a.tb.addGuestIf(name, pool)
+	sp, ifc := a.tb.addGuestIf(name)
 	p := a.tb.attach(sp)
 	a.ports[p] = asmPort{ifc: ifc, pool: pool}
 	return p, nil

@@ -209,6 +209,10 @@ type Result struct {
 	SUTBusyFrac float64
 	// Drops counts frames lost anywhere in the data path.
 	Drops int64
+	// HostCopies counts the vhost guest-memory copies the SUT core paid
+	// for during the window — the per-crossing "vhost tax" that separates
+	// p2v/v2v/loopback from p2p.
+	HostCopies int64
 	// Steps is the scheduler step count (determinism fingerprint).
 	Steps uint64
 }

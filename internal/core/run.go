@@ -34,6 +34,18 @@ func Run(cfg Config) (Result, error) {
 	for _, h := range tb.hists {
 		h.Reset()
 	}
+	// Loss and copy counters accumulate from time zero, so window totals
+	// must be deltas — otherwise warmup-phase drops (queues filling, MAC
+	// tables learning) pollute the measurement the way warmup frames
+	// would pollute RxPackets.
+	drop0 := make([]int64, len(tb.dropFns))
+	for i, fn := range tb.dropFns {
+		drop0[i] = fn()
+	}
+	copy0 := make([]int64, len(tb.copyFns))
+	for i, fn := range tb.copyFns {
+		copy0[i] = fn()
+	}
 	busy0 := make([]units.Cycles, len(tb.sutPolls))
 	idle0 := make([]units.Cycles, len(tb.sutPolls))
 	for i, c := range tb.sutPolls {
@@ -69,8 +81,11 @@ func Run(cfg Config) (Result, error) {
 		merged.Merge(h)
 	}
 	res.Latency = merged.Summarize()
-	for _, fn := range tb.dropFns {
-		res.Drops += fn()
+	for i, fn := range tb.dropFns {
+		res.Drops += fn() - drop0[i]
+	}
+	for i, fn := range tb.copyFns {
+		res.HostCopies += fn() - copy0[i]
 	}
 	var busy, idle units.Cycles
 	for i, c := range tb.sutPolls {

@@ -87,6 +87,8 @@ type testbed struct {
 	hists []*stats.Histogram
 	// dropFns report loss points.
 	dropFns []func() int64
+	// copyFns report host-side guest-memory copy counts (vhost devices).
+	copyFns []func() int64
 }
 
 // newPool creates a packet pool registered for end-of-run release.
@@ -233,7 +235,7 @@ func (tb *testbed) addPhysPair(name string) (*sutPort, *nic.Port) {
 
 // addGuestIf creates one guest interface pair (host DevPort + guest NetIf)
 // of the kind the switch uses.
-func (tb *testbed) addGuestIf(name string, guestPool *pkt.Pool) (*sutPort, vm.NetIf) {
+func (tb *testbed) addGuestIf(name string) (*sutPort, vm.NetIf) {
 	if tb.info.VirtualIface == "ptnet" {
 		dev := ptnet.New(ptnet.Config{Name: name, NotifyDelay: ptnetNotify})
 		if tb.sutIRQ != nil {
@@ -244,8 +246,6 @@ func (tb *testbed) addGuestIf(name string, guestPool *pkt.Pool) (*sutPort, vm.Ne
 	}
 	vcfg := vhost.Config{
 		Name:      name,
-		GuestPool: guestPool,
-		HostPool:  tb.hostPool,
 		CostScale: tb.info.VhostCostScale,
 		EnqScale:  tb.info.VhostEnqScale,
 		DeqScale:  tb.info.VhostDeqScale,
@@ -259,6 +259,7 @@ func (tb *testbed) addGuestIf(name string, guestPool *pkt.Pool) (*sutPort, vm.Ne
 	}
 	dev := vhost.New(vcfg)
 	tb.dropFns = append(tb.dropFns, func() int64 { return dev.RxDrops() + dev.TxDrops() })
+	tb.copyFns = append(tb.copyFns, func() int64 { return dev.HostCopies })
 	return &sutPort{dev: &switchdef.VhostPort{Dev: dev}, vdev: dev}, &vm.VirtioIf{Dev: dev}
 }
 

@@ -217,20 +217,20 @@ func TestScenarioResultsMatchLegacyEngine(t *testing.T) {
 		cfg    Config
 		digest string
 	}{
-		{Config{Switch: "vpp", Scenario: P2P}, "ebe208fe0573d06813f4b9abd451bc54"},
-		{Config{Switch: "vpp", Scenario: P2P, Bidir: true, ProbeEvery: 40 * units.Microsecond}, "24929467614d81fa4707d3f1462e9acc"},
-		{Config{Switch: "bess", Scenario: P2V}, "d1e781981480edfa85910027f565fa5d"},
-		{Config{Switch: "vpp", Scenario: P2V, Reversed: true}, "fa18a25c3fa5ef3a99252195f43efa28"},
-		{Config{Switch: "ovs", Scenario: P2V, Bidir: true, ProbeEvery: 40 * units.Microsecond}, "3b7b9a4ccfffae007ceb0b0f670c47de"},
-		{Config{Switch: "snabb", Scenario: V2V}, "aa5c3e959c467a1d874b4a107fec6900"},
-		{Config{Switch: "vale", Scenario: V2V, Bidir: true}, "3276d660c300023289741a8950d3fbd2"},
-		{Config{Switch: "vpp", Scenario: V2V, LatencyTopology: true, Rate: units.Gbps, ProbeEvery: 20 * units.Microsecond}, "305e4c85182bf4fb19f80411870ac563"},
-		{Config{Switch: "vale", Scenario: V2V, LatencyTopology: true, Rate: units.Gbps, ProbeEvery: 20 * units.Microsecond}, "b8d728a5d9f07ed633117b3b16bf41ff"},
-		{Config{Switch: "ovs", Scenario: Loopback, Chain: 1}, "cadd16b947a862f249a067d8435c4613"},
-		{Config{Switch: "t4p4s", Scenario: Loopback, Chain: 3, Bidir: true, ProbeEvery: 40 * units.Microsecond}, "eec56cc59c84a101487cc896818a5852"},
-		{Config{Switch: "vale", Scenario: Loopback, Chain: 2}, "785fa5a0c2d4c7ece1489bcd3349b835"},
-		{Config{Switch: "fastclick", Scenario: Loopback, Chain: 2, Containers: true}, "0743bbe2f4353f0e8e990e9111525244"},
-		{Config{Switch: "vpp", Scenario: P2P, SUTCores: 2, Bidir: true}, "550476313e59dde19fe3b31e260f2356"},
+		{Config{Switch: "vpp", Scenario: P2P}, "fc71da34ccde934cd9be7b23096ad4f5"},
+		{Config{Switch: "vpp", Scenario: P2P, Bidir: true, ProbeEvery: 40 * units.Microsecond}, "6ce9d14f855c6120b4b13863d62080e3"},
+		{Config{Switch: "bess", Scenario: P2V}, "a04e1922b3b62dea8921add2caab4012"},
+		{Config{Switch: "vpp", Scenario: P2V, Reversed: true}, "05d0678245cf1735cb1d9e10643a1e82"},
+		{Config{Switch: "ovs", Scenario: P2V, Bidir: true, ProbeEvery: 40 * units.Microsecond}, "8912f5a00bc4ab5d70677cbd28f56e03"},
+		{Config{Switch: "snabb", Scenario: V2V}, "801be70b9d1b4a6059576de0464d89d7"},
+		{Config{Switch: "vale", Scenario: V2V, Bidir: true}, "6435effb82837b1eaf68bfa73672085c"},
+		{Config{Switch: "vpp", Scenario: V2V, LatencyTopology: true, Rate: units.Gbps, ProbeEvery: 20 * units.Microsecond}, "57050451eebd1ea9d1980e92fbe01124"},
+		{Config{Switch: "vale", Scenario: V2V, LatencyTopology: true, Rate: units.Gbps, ProbeEvery: 20 * units.Microsecond}, "2cefaf78051dd26f475193bf8b0f4c2a"},
+		{Config{Switch: "ovs", Scenario: Loopback, Chain: 1}, "2474e0f6ad1caa9fed48960188f94c54"},
+		{Config{Switch: "t4p4s", Scenario: Loopback, Chain: 3, Bidir: true, ProbeEvery: 40 * units.Microsecond}, "5336e6455ebefc18fd74e757bda13155"},
+		{Config{Switch: "vale", Scenario: Loopback, Chain: 2}, "d4e10b4b84738c3f85352573647de49f"},
+		{Config{Switch: "fastclick", Scenario: Loopback, Chain: 2, Containers: true}, "42d6b06f89028ff812dcf1e8bede9268"},
+		{Config{Switch: "vpp", Scenario: P2P, SUTCores: 2, Bidir: true}, "e2bd401bfd2dde177b45bec02d9da8a6"},
 	}
 	for _, tc := range cases {
 		cfg := tc.cfg

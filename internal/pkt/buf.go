@@ -60,6 +60,26 @@ func (b *Buf) Bytes() []byte {
 	return b.data[:b.len]
 }
 
+// View returns the frame contents for read-only inspection without forcing
+// materialization: a template-backed buffer exposes the shared image
+// directly. Callers must not write through the returned slice — header
+// parsing, MAC learning, and flow-key extraction belong here; rewrites go
+// through Bytes(). (A buffer whose logical length outgrew its template
+// image falls back to materializing, so the zero-extension is visible.)
+func (b *Buf) View() []byte {
+	if b.tmpl != nil {
+		if b.len <= len(b.tmpl.data) {
+			return b.tmpl.data[:b.len]
+		}
+		b.materialize()
+	}
+	return b.data[:b.len]
+}
+
+// Template returns the shared frame image backing b, or nil once the
+// buffer has been materialized.
+func (b *Buf) Template() *Template { return b.tmpl }
+
 // materialize copies the template image into the buffer (one memcpy; the
 // template is pre-serialized). Lengths can disagree only after an explicit
 // SetLen on a lazy buffer; the image is truncated or zero-extended to
@@ -143,14 +163,34 @@ func (t *Template) Image() []byte {
 	return out
 }
 
+// Derive returns a new template whose image is t's with edit applied.
+// This is how a VNF's deterministic header rewrite (l2fwd's MAC swap)
+// stays template-backed: the edit runs once per distinct input template
+// and every subsequent frame moves only its template pointer.
+func (t *Template) Derive(edit func(data []byte)) *Template {
+	data := make([]byte, len(t.data))
+	copy(data, t.data)
+	edit(data)
+	return &Template{data: data}
+}
+
 // Pool is a free list of equal-capacity buffers. It grows on demand so that
 // component buffering limits (rings) — not the pool — bound memory use.
+// Growth carves buffers out of slab allocations (DPDK mempool style) so
+// warming a pool to its high-water mark costs a handful of allocations,
+// not one per buffer.
 type Pool struct {
 	free    []*Buf
 	bufSize int
 	live    int // checked-out buffers
 	total   int // ever allocated
+
+	slabData []byte // unclaimed backing storage
+	slabBufs []Buf  // unclaimed headers
 }
+
+// slabCount is how many buffers each slab allocation provides.
+const slabCount = 256
 
 // NewPool returns a pool of buffers with the given capacity each.
 func NewPool(bufSize int) *Pool {
@@ -171,7 +211,15 @@ func (p *Pool) Get(frameLen int) *Buf {
 		p.free[n-1] = nil
 		p.free = p.free[:n-1]
 	} else {
-		b = &Buf{data: make([]byte, p.bufSize), pool: p}
+		if len(p.slabBufs) == 0 {
+			p.slabData = make([]byte, slabCount*p.bufSize)
+			p.slabBufs = make([]Buf, slabCount)
+		}
+		b = &p.slabBufs[0]
+		p.slabBufs = p.slabBufs[1:]
+		b.data = p.slabData[:p.bufSize:p.bufSize]
+		p.slabData = p.slabData[p.bufSize:]
+		b.pool = p
 		p.total++
 	}
 	p.live++
@@ -221,6 +269,7 @@ func (p *Pool) Trim(max int) {
 	p.free = p.free[:max]
 	if max == 0 {
 		p.free = nil // release the spine too
+		p.slabData, p.slabBufs = nil, nil
 	}
 }
 

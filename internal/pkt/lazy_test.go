@@ -191,3 +191,55 @@ func BenchmarkMaterialize(b *testing.B) {
 		}
 	})
 }
+
+// TestViewDoesNotMaterialize pins the read-only fast path: View on a
+// template-backed buffer exposes the shared image without materializing,
+// and falls back to Bytes when the frame is longer than the image
+// (zero-extension).
+func TestViewDoesNotMaterialize(t *testing.T) {
+	p := NewPool(2048)
+	spec := lazySpec(64)
+	b := p.Get(64)
+	b.SetTemplate(spec.Template(0))
+	v := b.View()
+	if b.Materialized() {
+		t.Fatal("View materialized the buffer")
+	}
+	if !bytes.Equal(v, spec.Template(0).Image()) {
+		t.Fatal("View bytes differ from the template image")
+	}
+	// A frame grown past the template image (the fastclick unstrip path)
+	// must take the materialize path so the zero-extended tail is real.
+	long := p.Get(1518)
+	long.SetTemplate(spec.Template(0))
+	long.SetLen(1518) // 64B image under a 1518B frame
+	lv := long.View()
+	if len(lv) != 1518 {
+		t.Fatalf("long view = %dB", len(lv))
+	}
+	if !long.Materialized() {
+		t.Fatal("oversized View did not materialize")
+	}
+	b.Free()
+	long.Free()
+}
+
+// TestTemplateDerive checks that a derived template reads back exactly
+// what edit wrote, without touching the parent image.
+func TestTemplateDerive(t *testing.T) {
+	spec := lazySpec(64)
+	parent := spec.Template(0)
+	before := append([]byte(nil), parent.Image()...)
+	d := parent.Derive(func(data []byte) {
+		SetEthSrc(data, MAC{2, 0xAA, 0, 0, 0, 1})
+	})
+	if !bytes.Equal(parent.Image(), before) {
+		t.Fatal("Derive mutated the parent template")
+	}
+	if EthSrc(d.Image()) != (MAC{2, 0xAA, 0, 0, 0, 1}) {
+		t.Fatal("derived image missing the edit")
+	}
+	if !bytes.Equal(d.Image()[EthHdrLen:], parent.Image()[EthHdrLen:]) {
+		t.Fatal("derived image diverged beyond the edit")
+	}
+}

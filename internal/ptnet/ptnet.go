@@ -86,6 +86,22 @@ func (p *Port) HostSend(m *cost.Meter, b *pkt.Buf) bool {
 	return true
 }
 
+// HostSendBurst passes a batch of frames to the guest, charging descriptor
+// work once. Frames the full ring rejects are dropped and freed (matching
+// a per-frame HostSend loop whose caller frees failures). Returns the
+// accepted count.
+func (p *Port) HostSendBurst(m *cost.Meter, in []*pkt.Buf) int {
+	n := p.toGuest.PushBurst(in)
+	for _, b := range in[n:] {
+		p.toGuest.Drops++
+		b.Free()
+	}
+	if n > 0 {
+		m.Charge(units.Cycles(n) * m.Model.PtnetDesc)
+	}
+	return n
+}
+
 // HostRecv takes up to len(out) guest-transmitted frames, zero-copy.
 func (p *Port) HostRecv(m *cost.Meter, out []*pkt.Buf) int {
 	n := p.toHost.DrainTo(out)
@@ -105,6 +121,28 @@ func (p *Port) GuestSend(now units.Time, m *cost.Meter, b *pkt.Buf) bool {
 	p.notify(now)
 	return true
 }
+
+// GuestSendBurst posts a batch of frames toward the host, charging
+// descriptor work once and ringing the doorbell once (the notify is
+// already level-triggered, so one ring per burst is what a per-frame loop
+// produced anyway). Frames the full ring rejects are dropped and freed.
+// Returns the accepted count.
+func (p *Port) GuestSendBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int {
+	n := p.toHost.PushBurst(in)
+	for _, b := range in[n:] {
+		p.toHost.Drops++
+		b.Free()
+	}
+	if n > 0 {
+		m.Charge(units.Cycles(n) * m.Model.PtnetDesc)
+		p.notify(now)
+	}
+	return n
+}
+
+// GuestSendSpace reports how many frames GuestSendBurst can currently
+// accept without dropping.
+func (p *Port) GuestSendSpace() int { return p.toHost.Free() }
 
 // GuestRecv takes up to len(out) frames from the host.
 func (p *Port) GuestRecv(m *cost.Meter, out []*pkt.Buf) int {

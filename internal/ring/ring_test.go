@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/pkt"
 	"repro/internal/sim"
+	"repro/internal/units"
 )
 
 func TestFIFOOrder(t *testing.T) {
@@ -171,4 +172,84 @@ func TestNewPanicsOnBadCap(t *testing.T) {
 		}
 	}()
 	New(0)
+}
+
+// TestNonPow2CapacityPreserved pins the pow2-backing-store refactor's
+// contract: the logical capacity (and therefore drop behaviour) is exactly
+// what New was given, not the rounded-up store size.
+func TestNonPow2CapacityPreserved(t *testing.T) {
+	r := New(6)
+	if r.Cap() != 6 {
+		t.Fatalf("cap = %d", r.Cap())
+	}
+	pool := pkt.NewPool(64)
+	for i := 0; i < 9; i++ {
+		b := pool.Get(64)
+		if !r.Push(b) {
+			b.Free()
+		}
+	}
+	if r.Len() != 6 || r.Drops != 3 {
+		t.Fatalf("len=%d drops=%d, rounding leaked into capacity", r.Len(), r.Drops)
+	}
+}
+
+// TestPushBurstPartialAccept checks that PushBurst stops at the ring
+// boundary without counting drops — the caller owns that decision.
+func TestPushBurstPartialAccept(t *testing.T) {
+	r := New(4)
+	pool := pkt.NewPool(64)
+	in := make([]*pkt.Buf, 7)
+	for i := range in {
+		in[i] = pool.Get(64)
+		in[i].Seq = uint64(i)
+	}
+	if n := r.PushBurst(in); n != 4 {
+		t.Fatalf("accepted = %d", n)
+	}
+	if r.Drops != 0 {
+		t.Fatalf("PushBurst counted drops: %d", r.Drops)
+	}
+	for i := 0; i < 4; i++ {
+		b := r.Pop()
+		if b.Seq != uint64(i) {
+			t.Fatalf("order broken at %d: seq %d", i, b.Seq)
+		}
+		b.Free()
+	}
+	for _, b := range in[4:] {
+		b.Free()
+	}
+}
+
+// TestDrainVisibleTo checks the virtio used-ring visibility gate: frames
+// become poppable only once AvailAt passes, a not-yet-visible frame blocks
+// everything behind it (FIFO), and the exact boundary AvailAt == now is
+// visible.
+func TestDrainVisibleTo(t *testing.T) {
+	r := New(8)
+	pool := pkt.NewPool(64)
+	for i, at := range []int64{10, 20, 30} {
+		b := pool.Get(64)
+		b.Seq = uint64(i)
+		b.AvailAt = units.Time(at)
+		r.Push(b)
+	}
+	out := make([]*pkt.Buf, 8)
+	if n := r.DrainVisibleTo(9, out); n != 0 {
+		t.Fatalf("visible before AvailAt: %d", n)
+	}
+	if n := r.DrainVisibleTo(10, out); n != 1 || out[0].Seq != 0 {
+		t.Fatalf("exact boundary: n=%d", n)
+	}
+	out[0].Free()
+	// The head frame (AvailAt=20) gates the one behind it even at t=25.
+	if n := r.DrainVisibleTo(25, out); n != 1 || out[0].Seq != 1 {
+		t.Fatalf("FIFO gate: n=%d", n)
+	}
+	out[0].Free()
+	if n := r.DrainVisibleTo(100, out); n != 1 || out[0].Seq != 2 {
+		t.Fatalf("tail: n=%d", n)
+	}
+	out[0].Free()
 }

@@ -228,6 +228,8 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 
 // QueueInc pulls batches from a port; it is the schedulable task unit.
 type QueueInc struct {
+	rxScratch [Burst]*pkt.Buf // receive staging, reused across polls
+
 	baseModule
 	dev    switchdef.DevPort
 	weight int
@@ -241,7 +243,7 @@ func (q *QueueInc) ProcessBatch(sw *Switch, now units.Time, m *cost.Meter, batch
 }
 
 func (q *QueueInc) run(sw *Switch, now units.Time, m *cost.Meter) bool {
-	var burst [Burst]*pkt.Buf
+	burst := &q.rxScratch
 	n := q.dev.RxBurst(now, m, burst[:])
 	if n == 0 {
 		return false

@@ -70,6 +70,11 @@ func (b *base) out(n int) Element {
 
 // Switch is a FastClick instance.
 type Switch struct {
+	// rxScratch is the receive staging array, reused across polls: a
+	// stack array handed through the DevPort interface escapes, which
+	// costs one heap allocation per poll.
+	rxScratch [Burst]*pkt.Buf
+
 	env   switchdef.Env
 	ports []switchdef.DevPort
 
@@ -259,7 +264,7 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 // PollShard implements switchdef.MultiCore: one core's input sources
 // (indices into the FromDPDKDevice elements, in configuration order).
 func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
-	var burst [Burst]*pkt.Buf
+	burst := &sw.rxScratch
 	did := false
 	for _, si := range switchdef.Shard(rxPorts, len(sw.sources)) {
 		if si >= len(sw.sources) {
@@ -517,7 +522,7 @@ func (e *classifier) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pk
 	for _, b := range batch {
 		matched := false
 		for i, p := range e.pats {
-			if p.catchAll || matchAt(b.Bytes(), p.offset, p.value) {
+			if p.catchAll || matchAt(b.View(), p.offset, p.value) {
 				groups[i] = append(groups[i], b)
 				matched = true
 				break

@@ -278,7 +278,7 @@ func parseAction(a string) (Action, error) {
 func extractKey(b *pkt.Buf, inPort int) FlowKey {
 	var k FlowKey
 	k.InPort = uint16(inPort)
-	data := b.Bytes()
+	data := b.View()
 	eth, err := pkt.ParseEth(data)
 	if err != nil {
 		return k

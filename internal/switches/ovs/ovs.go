@@ -71,6 +71,11 @@ type maskGroup struct {
 
 // Switch is an OvS-DPDK instance.
 type Switch struct {
+	// rxScratch is the receive staging array, reused across polls: a
+	// stack array handed through the DevPort interface escapes, which
+	// costs one heap allocation per poll.
+	rxScratch [Burst]*pkt.Buf
+
 	env   switchdef.Env
 	ports []switchdef.DevPort
 	rng   *sim.RNG
@@ -312,7 +317,7 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 		m.Stall(revalStall)
 		sw.nextRev = now + revalInterval
 	}
-	var burst [Burst]*pkt.Buf
+	burst := &sw.rxScratch
 	did := false
 	for _, i := range shard(rxPorts, len(sw.ports)) {
 		p := sw.ports[i]

@@ -226,6 +226,8 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 
 // NICApp couples a device to a pair of links.
 type NICApp struct {
+	scratch [PullBatch]*pkt.Buf // staging, reused across breaths
+
 	name    string
 	dev     switchdef.DevPort
 	out, in *Link
@@ -241,7 +243,7 @@ func (a *NICApp) Pull(sw *Switch, now units.Time, m *cost.Meter) int {
 	if a.out == nil {
 		return 0
 	}
-	var burst [PullBatch]*pkt.Buf
+	burst := &a.scratch
 	space := a.out.Ring.Free()
 	if space == 0 {
 		return 0
@@ -270,7 +272,7 @@ func (a *NICApp) Push(sw *Switch, now units.Time, m *cost.Meter) int {
 	if a.in == nil {
 		return 0
 	}
-	var burst [PullBatch]*pkt.Buf
+	burst := &a.scratch
 	n := a.in.Ring.DrainTo(burst[:])
 	if n == 0 {
 		return 0
@@ -298,6 +300,8 @@ func init() {
 // a minimal example of composing network functions from Snabb apps
 // (config.app with a filter module).
 type FilterApp struct {
+	scratch [PullBatch]*pkt.Buf // staging, reused across breaths
+
 	name    string
 	in, out *Link
 	allow   map[uint16]bool
@@ -323,14 +327,14 @@ func (a *FilterApp) Name() string { return a.name }
 
 // Push implements Pusher: drain the input link, filter, forward.
 func (a *FilterApp) Push(sw *Switch, now units.Time, m *cost.Meter) int {
-	var burst [PullBatch]*pkt.Buf
+	burst := &a.scratch
 	n := a.in.Ring.DrainTo(burst[:])
 	if n == 0 {
 		return 0
 	}
 	sw.chargeApp(m, filterPerPkt+linkPerPkt, n)
 	for _, b := range burst[:n] {
-		eth, err := pkt.ParseEth(b.Bytes())
+		eth, err := pkt.ParseEth(b.View())
 		if err != nil || !a.allow[eth.EtherType] {
 			b.Free()
 			a.Dropped++

@@ -73,20 +73,12 @@ func (p *VhostPort) Name() string { return p.Dev.Name() }
 
 // RxBurst implements DevPort.
 func (p *VhostPort) RxBurst(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
-	return p.Dev.HostDequeue(m, out)
+	return p.Dev.HostDequeueBurst(m, out)
 }
 
 // TxBurst implements DevPort.
 func (p *VhostPort) TxBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int {
-	sent := 0
-	for _, b := range in {
-		if p.Dev.HostEnqueue(now, m, b) {
-			sent++
-		} else {
-			b.Free()
-		}
-	}
-	return sent
+	return p.Dev.HostEnqueueBurst(now, m, in)
 }
 
 // Pending implements DevPort.
@@ -110,15 +102,7 @@ func (p *PtnetPort) RxBurst(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
 
 // TxBurst implements DevPort.
 func (p *PtnetPort) TxBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int {
-	sent := 0
-	for _, b := range in {
-		if p.Dev.HostSend(m, b) {
-			sent++
-		} else {
-			b.Free()
-		}
-	}
-	return sent
+	return p.Dev.HostSendBurst(m, in)
 }
 
 // Pending implements DevPort.

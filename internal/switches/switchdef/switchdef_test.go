@@ -135,8 +135,8 @@ func TestPhysPortAdapterCharges(t *testing.T) {
 }
 
 func TestVhostPortAdapterRoundTrip(t *testing.T) {
-	host, guest := pkt.NewPool(2048), pkt.NewPool(2048)
-	dev := vhost.New(vhost.Config{Name: "v0", GuestPool: guest, HostPool: host})
+	host := pkt.NewPool(2048)
+	dev := vhost.New(vhost.Config{Name: "v0"})
 	port := &switchdef.VhostPort{Dev: dev}
 	m := cost.NewMeter(cost.Default(), nil)
 

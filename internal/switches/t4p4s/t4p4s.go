@@ -143,6 +143,11 @@ func (t *Table) Add(keyBytes []byte, e Entry) {
 
 // Switch is a t4p4s instance running a compiled P4 program.
 type Switch struct {
+	// rxScratch is the receive staging array, reused across polls: a
+	// stack array handed through the DevPort interface escapes, which
+	// costs one heap allocation per poll.
+	rxScratch [Burst]*pkt.Buf
+
 	env    switchdef.Env
 	ports  []switchdef.DevPort
 	tables []*Table
@@ -238,7 +243,7 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 
 // PollShard implements switchdef.MultiCore (one lcore's ports).
 func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
-	var burst [Burst]*pkt.Buf
+	burst := &sw.rxScratch
 	did := false
 	for _, i := range shard(rxPorts, len(sw.ports)) {
 		p := sw.ports[i]
@@ -279,8 +284,8 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 }
 
 func (sw *Switch) process(now units.Time, m *cost.Meter, inPort int, b *pkt.Buf) {
-	// Parser.
-	data := b.Bytes()
+	// Parser (read-only; the deparser materializes if it must write).
+	data := b.View()
 	var h parsedHeaders
 	var err error
 	h.eth, err = pkt.ParseEth(data)
@@ -327,7 +332,7 @@ func (sw *Switch) process(now units.Time, m *cost.Meter, inPort int, b *pkt.Buf)
 	// Deparser.
 	m.ChargeNoisy(deparseFixed, jitterFrac)
 	if h.ethDirt {
-		h.eth.Put(data)
+		h.eth.Put(b.Bytes())
 	}
 	if out < 0 || out >= len(sw.ports) {
 		b.Free()

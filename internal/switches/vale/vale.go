@@ -58,6 +58,11 @@ type Bridge struct {
 
 // Switch hosts one or more VALE bridges on a single (interrupt-driven) core.
 type Switch struct {
+	// rxScratch is the receive staging array, reused across polls: a
+	// stack array handed through the DevPort interface escapes, which
+	// costs one heap allocation per poll.
+	rxScratch [Burst]*pkt.Buf
+
 	env     switchdef.Env
 	ports   []switchdef.DevPort
 	bridges []*Bridge
@@ -126,7 +131,7 @@ func (sw *Switch) CrossConnect(a, b int) error {
 // everything pending (VALE's adaptive batching).
 func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 	did := false
-	var burst [Burst]*pkt.Buf
+	burst := &sw.rxScratch
 	for _, br := range sw.bridges {
 		for _, src := range br.ports {
 			dev := sw.ports[src]
@@ -159,7 +164,7 @@ func (sw *Switch) chargeIngress(m *cost.Meter, dev switchdef.DevPort, batch []*p
 
 // forward runs one frame through a bridge: learn, look up, copy, transmit.
 func (sw *Switch) forward(br *Bridge, now units.Time, m *cost.Meter, src int, b *pkt.Buf) {
-	data := b.Bytes()
+	data := b.View()
 	br.mac.Learn(pkt.EthSrc(data), src, now)
 	m.Charge(2*m.Model.HashLookup + lookupPerPkt)
 	dst, known := br.mac.Lookup(pkt.EthDst(data), now)

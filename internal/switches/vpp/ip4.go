@@ -109,19 +109,19 @@ func (ip4InputNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, 
 	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*ip4InputPerPkt, costJitterFrac)
 	keep := v[:0]
 	for _, b := range v {
-		data := b.Bytes()
+		data := b.View()
 		if len(data) < pkt.EthHdrLen+pkt.IPv4HdrLen {
-			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			sw.enqueue1("error-drop", ctx, b)
 			continue
 		}
 		eth, err := pkt.ParseEth(data)
 		if err != nil || eth.EtherType != pkt.EtherTypeIPv4 {
-			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			sw.enqueue1("error-drop", ctx, b)
 			continue
 		}
 		ip, err := pkt.ParseIPv4(data[pkt.EthHdrLen:])
 		if err != nil || ip.TTL <= 1 {
-			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			sw.enqueue1("error-drop", ctx, b)
 			continue
 		}
 		keep = append(keep, b)
@@ -138,13 +138,13 @@ func (ip4LookupNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int,
 	m.Charge(nodeFixed + units.Cycles(len(v))*(m.Model.HashLookup+ip4LookupPerPkt))
 	l3 := sw.ip4()
 	for _, b := range v {
-		ip, _ := pkt.ParseIPv4(b.Bytes()[pkt.EthHdrLen:])
+		ip, _ := pkt.ParseIPv4(b.View()[pkt.EthHdrLen:])
 		leaf := l3.fib.Lookup(ip.Dst)
 		if leaf == 0 {
-			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			sw.enqueue1("error-drop", ctx, b)
 			continue
 		}
-		sw.enqueue("ip4-rewrite", int(leaf-1), []*pkt.Buf{b})
+		sw.enqueue1("ip4-rewrite", int(leaf-1), b)
 	}
 }
 

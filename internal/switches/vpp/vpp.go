@@ -54,6 +54,11 @@ type pendingKey struct {
 
 // Switch is a VPP instance.
 type Switch struct {
+	// rxScratch is the receive staging array, reused across polls: a
+	// stack array handed through the DevPort interface escapes, which
+	// costs one heap allocation per poll.
+	rxScratch [VectorSize]*pkt.Buf
+
 	env   switchdef.Env
 	ports []switchdef.DevPort
 
@@ -61,6 +66,12 @@ type Switch struct {
 	order   []string // dispatch order
 	pending map[pendingKey][]*pkt.Buf
 	keys    []pendingKey // deterministic iteration
+
+	// vecFree and spareKeys recycle dispatch-frame vectors and the key
+	// list across polls; a graph frame otherwise allocates one vector
+	// per (node, ctx) pair it visits, every poll.
+	vecFree   [][]*pkt.Buf
+	spareKeys []pendingKey
 
 	patch  map[int]int // l2patch: rx port -> tx port
 	bridge map[int]bool
@@ -179,13 +190,45 @@ func (sw *Switch) shard(rxPorts []int) []int {
 	return switchdef.Shard(rxPorts, len(sw.ports))
 }
 
-// enqueue hands a vector to a node for this dispatch frame.
+// getVec returns a recycled (empty) vector for a dispatch frame.
+func (sw *Switch) getVec() []*pkt.Buf {
+	if n := len(sw.vecFree); n > 0 {
+		v := sw.vecFree[n-1]
+		sw.vecFree = sw.vecFree[:n-1]
+		return v
+	}
+	return make([]*pkt.Buf, 0, VectorSize)
+}
+
+// putVec parks a consumed vector for reuse.
+func (sw *Switch) putVec(v []*pkt.Buf) {
+	v = v[:0]
+	sw.vecFree = append(sw.vecFree, v)
+}
+
+// enqueue hands a vector to a node for this dispatch frame. The contents
+// are copied into a per-(node, ctx) pending vector, so callers keep
+// ownership of the slice itself.
 func (sw *Switch) enqueue(node string, ctx int, bufs []*pkt.Buf) {
 	k := pendingKey{node, ctx}
-	if _, ok := sw.pending[k]; !ok {
+	vec, ok := sw.pending[k]
+	if !ok {
 		sw.keys = append(sw.keys, k)
+		vec = sw.getVec()
 	}
-	sw.pending[k] = append(sw.pending[k], bufs...)
+	sw.pending[k] = append(vec, bufs...)
+}
+
+// enqueue1 is enqueue for a single frame, avoiding the slice header a
+// []*pkt.Buf{b} literal would heap-allocate per packet.
+func (sw *Switch) enqueue1(node string, ctx int, b *pkt.Buf) {
+	k := pendingKey{node, ctx}
+	vec, ok := sw.pending[k]
+	if !ok {
+		sw.keys = append(sw.keys, k)
+		vec = sw.getVec()
+	}
+	sw.pending[k] = append(vec, b)
 }
 
 // Poll implements switchdef.Switch: one graph dispatch frame.
@@ -197,7 +240,7 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 // to the given ingress ports (nil = all).
 func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 	// dpdk-input: pull one vector per port.
-	var burst [VectorSize]*pkt.Buf
+	burst := &sw.rxScratch
 	got := false
 	for _, i := range sw.shard(rxPorts) {
 		p := sw.ports[i]
@@ -212,8 +255,7 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 			// paper's "reversed unidirectional" finding).
 			m.Charge(units.Cycles(n) * vhostRxPenalty)
 		}
-		v := make([]*pkt.Buf, n)
-		copy(v, burst[:n])
+		v := burst[:n]
 		_, patched := sw.patch[i]
 		switch {
 		case patched:
@@ -229,13 +271,17 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 	// Graph dispatch until quiescent.
 	for len(sw.keys) > 0 {
 		keys := sw.keys
-		sw.keys = nil
+		sw.keys = sw.spareKeys[:0]
 		for _, k := range keys {
 			v := sw.pending[k]
 			delete(sw.pending, k)
 			node := sw.nodes[k.node]
 			node.Process(sw, now, m, k.ctx, v)
+			// Nodes pass frames onward by value (enqueue copies), so
+			// the vector itself is dead once Process returns.
+			sw.putVec(v)
 		}
+		sw.spareKeys = keys[:0]
 	}
 	// Flush staged tx (each core owns the egress stages of its port
 	// shard, so idle cores do not steal work).
@@ -271,8 +317,8 @@ func (ethInputNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, 
 	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*ethInputPerPkt, costJitterFrac)
 	keep := v[:0]
 	for _, b := range v {
-		if _, err := pkt.ParseEth(b.Bytes()); err != nil {
-			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+		if _, err := pkt.ParseEth(b.View()); err != nil {
+			sw.enqueue1("error-drop", ctx, b)
 			continue
 		}
 		keep = append(keep, b)
@@ -288,7 +334,7 @@ func (l2LearnNode) Name() string { return "l2-learn" }
 func (l2LearnNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
 	m.Charge(nodeFixed + units.Cycles(len(v))*m.Model.HashLookup)
 	for _, b := range v {
-		sw.mac.Learn(pkt.EthSrc(b.Bytes()), ctx, now)
+		sw.mac.Learn(pkt.EthSrc(b.View()), ctx, now)
 	}
 	sw.enqueue("l2-fwd", ctx, v)
 }
@@ -299,13 +345,13 @@ func (l2FwdNode) Name() string { return "l2-fwd" }
 func (l2FwdNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
 	m.Charge(nodeFixed + units.Cycles(len(v))*(m.Model.HashLookup+l2fwdPerPkt))
 	for _, b := range v {
-		dst, ok := sw.mac.Lookup(pkt.EthDst(b.Bytes()), now)
+		dst, ok := sw.mac.Lookup(pkt.EthDst(b.View()), now)
 		if ok && dst != ctx {
-			sw.enqueue("interface-output", dst, []*pkt.Buf{b})
+			sw.enqueue1("interface-output", dst, b)
 			continue
 		}
 		if ok && dst == ctx {
-			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			sw.enqueue1("error-drop", ctx, b)
 			continue
 		}
 		// Flood to all other bridge ports (in port order, for
@@ -320,11 +366,11 @@ func (l2FwdNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v [
 				out = sw.env.Pool.Clone(b)
 				m.ChargeCopy(b.Len())
 			}
-			sw.enqueue("interface-output", p, []*pkt.Buf{out})
+			sw.enqueue1("interface-output", p, out)
 			flooded = true
 		}
 		if !flooded {
-			sw.enqueue("error-drop", ctx, []*pkt.Buf{b})
+			sw.enqueue1("error-drop", ctx, b)
 		}
 	}
 }

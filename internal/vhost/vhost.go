@@ -6,6 +6,12 @@
 // switch reads and writes guest memory, so every crossing of the device
 // costs the host core one packet copy plus descriptor handling — the "vhost
 // tax" that separates p2v/v2v/loopback results from p2p.
+//
+// The simulated copy is charged on every crossing; the host-side memmove is
+// not. Buffers cross the device by ownership transfer — the same *pkt.Buf
+// travels from switch to guest (or back) and only its metadata moves —
+// because which Go allocation holds the bytes is not simulation state (see
+// DESIGN.md §3.3 for the bit-identity argument).
 package vhost
 
 import (
@@ -20,9 +26,6 @@ type Config struct {
 	Name string
 	// QueueLen is the vring depth (default 256, the QEMU default).
 	QueueLen int
-	// GuestPool allocates the guest-memory buffers; HostPool the host
-	// mbufs produced when dequeuing.
-	GuestPool, HostPool *pkt.Pool
 	// CostScale scales the crossing costs, letting Snabb's independent
 	// vhost implementation price differently from DPDK's (default 1.0).
 	CostScale float64
@@ -69,9 +72,6 @@ func New(cfg Config) *Device {
 	if cfg.GuestNotifyDelay == 0 {
 		cfg.GuestNotifyDelay = DefaultGuestNotifyDelay
 	}
-	if cfg.GuestPool == nil || cfg.HostPool == nil {
-		panic("vhost: missing pools")
-	}
 	return &Device{
 		cfg:    cfg,
 		rxRing: ring.New(cfg.QueueLen),
@@ -89,27 +89,63 @@ func scaleBy(c units.Cycles, s float64) units.Cycles {
 	return units.Cycles(float64(c) * s)
 }
 
+// enqCost prices one host→guest crossing (copy into guest memory plus
+// descriptor handling).
+func (d *Device) enqCost(m *cost.Meter, frameLen int) units.Cycles {
+	return scaleBy(m.Model.CopyCost(frameLen)+m.Model.VhostDesc, d.cfg.EnqScale)
+}
+
+// deqCost prices one guest→host crossing.
+func (d *Device) deqCost(m *cost.Meter, frameLen int) units.Cycles {
+	return scaleBy(m.Model.CopyCost(frameLen)+m.Model.VhostDesc, d.cfg.DeqScale)
+}
+
 // HostEnqueue delivers one frame to the guest at time now: the host core
-// copies the frame into guest memory and posts a used descriptor; the
-// guest sees it after the notify delay. On success the original buffer is
-// freed and true is returned; if the vring is full the caller keeps
-// ownership.
+// pays for copying the frame into guest memory and posting a used
+// descriptor; the guest sees it after the notify delay. On success the
+// device takes ownership of the buffer; if the vring is full the caller
+// keeps ownership.
 func (d *Device) HostEnqueue(now units.Time, m *cost.Meter, b *pkt.Buf) bool {
 	if d.rxRing.Free() == 0 {
 		d.rxRing.Drops++
 		return false
 	}
-	g := d.cfg.GuestPool.Clone(b)
-	g.AvailAt = now + d.cfg.GuestNotifyDelay
-	d.rxRing.Push(g)
-	m.Charge(scaleBy(m.Model.CopyCost(b.Len())+m.Model.VhostDesc, d.cfg.EnqScale))
+	b.AvailAt = now + d.cfg.GuestNotifyDelay
+	d.rxRing.Push(b)
+	m.Charge(d.enqCost(m, b.Len()))
 	d.HostCopies++
-	b.Free()
 	return true
 }
 
-// HostDequeue takes up to len(out) frames the guest transmitted, copying
-// each into a host mbuf. Costs are charged to the host core.
+// HostEnqueueBurst delivers a batch of frames to the guest, charging the
+// whole batch's crossing costs in one pass. Frames the full vring rejects
+// are dropped and freed — exactly what a per-frame HostEnqueue loop whose
+// caller frees rejected frames produces. Returns the delivered count.
+func (d *Device) HostEnqueueBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int {
+	avail := now + d.cfg.GuestNotifyDelay
+	var total units.Cycles
+	sent := 0
+	for _, b := range in {
+		if d.rxRing.Free() == 0 {
+			d.rxRing.Drops++
+			b.Free()
+			continue
+		}
+		b.AvailAt = avail
+		d.rxRing.Push(b)
+		total += d.enqCost(m, b.Len())
+		sent++
+	}
+	if total > 0 {
+		m.Charge(total)
+	}
+	d.HostCopies += int64(sent)
+	return sent
+}
+
+// HostDequeue takes up to len(out) frames the guest transmitted, charging
+// each crossing individually (the reference path; HostDequeueBurst is the
+// equivalent one-pass version).
 func (d *Device) HostDequeue(m *cost.Meter, out []*pkt.Buf) int {
 	n := 0
 	for n < len(out) {
@@ -117,14 +153,30 @@ func (d *Device) HostDequeue(m *cost.Meter, out []*pkt.Buf) int {
 		if g == nil {
 			break
 		}
-		h := d.cfg.HostPool.Clone(g)
-		h.AvailAt = 0
-		m.Charge(scaleBy(m.Model.CopyCost(g.Len())+m.Model.VhostDesc, d.cfg.DeqScale))
+		g.AvailAt = 0
+		m.Charge(d.deqCost(m, g.Len()))
 		d.HostCopies++
-		g.Free()
-		out[n] = h
+		out[n] = g
 		n++
 	}
+	return n
+}
+
+// HostDequeueBurst takes up to len(out) guest-transmitted frames, charging
+// the whole batch's crossing costs in one pass. Cycle-identical to
+// HostDequeue: the per-frame costs are integers and the meter is additive.
+func (d *Device) HostDequeueBurst(m *cost.Meter, out []*pkt.Buf) int {
+	n := d.txRing.DrainTo(out)
+	if n == 0 {
+		return 0
+	}
+	var total units.Cycles
+	for _, g := range out[:n] {
+		g.AvailAt = 0
+		total += d.deqCost(m, g.Len())
+	}
+	m.Charge(total)
+	d.HostCopies += int64(n)
 	return n
 }
 
@@ -139,18 +191,30 @@ func (d *Device) GuestSend(m *cost.Meter, b *pkt.Buf) bool {
 	return true
 }
 
+// GuestSendBurst posts a batch of guest frames, charging descriptor work
+// once for the batch. Frames the full vring rejects are dropped and freed
+// (matching a per-frame GuestSend loop whose caller frees failures).
+// Returns the accepted count.
+func (d *Device) GuestSendBurst(m *cost.Meter, in []*pkt.Buf) int {
+	n := d.txRing.PushBurst(in)
+	for _, b := range in[n:] {
+		d.txRing.Drops++
+		b.Free()
+	}
+	if n > 0 {
+		m.Charge(units.Cycles(n) * m.Model.VhostDesc)
+	}
+	return n
+}
+
+// GuestSendSpace reports how many frames GuestSendBurst can currently
+// accept without dropping.
+func (d *Device) GuestSendSpace() int { return d.txRing.Free() }
+
 // GuestRecv takes up to len(out) received frames visible at time now
 // (guest driver side).
 func (d *Device) GuestRecv(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
-	n := 0
-	for n < len(out) {
-		head := d.rxRing.Peek()
-		if head == nil || head.AvailAt > now {
-			break
-		}
-		out[n] = d.rxRing.Pop()
-		n++
-	}
+	n := d.rxRing.DrainVisibleTo(now, out)
 	if n > 0 {
 		m.Charge(units.Cycles(n) * m.Model.VhostDesc)
 	}

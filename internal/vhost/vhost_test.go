@@ -8,25 +8,20 @@ import (
 	"repro/internal/units"
 )
 
-func newDev(cfg Config) (*Device, *pkt.Pool, *pkt.Pool) {
-	host, guest := pkt.NewPool(2048), pkt.NewPool(2048)
-	cfg.GuestPool, cfg.HostPool = guest, host
-	return New(cfg), host, guest
-}
-
-func TestHostEnqueueCopiesIntoGuestMemory(t *testing.T) {
-	dev, host, guest := newDev(Config{Name: "v0"})
+func TestHostEnqueueTransfersOwnership(t *testing.T) {
+	dev := New(Config{Name: "v0"})
+	pool := pkt.NewPool(2048)
 	m := cost.NewMeter(cost.Default(), nil)
-	b := host.Get(64)
-	for i := range b.Bytes() {
-		b.Bytes()[i] = byte(i)
-	}
+	b := pool.Get(64)
+	b.Seq = 9
 	if !dev.HostEnqueue(0, m, b) {
 		t.Fatal("enqueue failed")
 	}
-	// The original host buffer was freed; the guest holds a copy.
-	if host.Live() != 0 || guest.Live() != 1 {
-		t.Fatalf("host live=%d guest live=%d", host.Live(), guest.Live())
+	// The buffer crosses by ownership transfer: no clone, no free — the
+	// same *Buf comes out the guest side, only the simulated copy is
+	// charged.
+	if pool.Live() != 1 {
+		t.Fatalf("live = %d, want the transferred buffer", pool.Live())
 	}
 	if dev.HostCopies != 1 {
 		t.Fatalf("copies = %d", dev.HostCopies)
@@ -34,28 +29,43 @@ func TestHostEnqueueCopiesIntoGuestMemory(t *testing.T) {
 	if m.Pending() == 0 {
 		t.Fatal("copy charged nothing")
 	}
+	var out [4]*pkt.Buf
+	if n := dev.GuestRecv(units.Second, m, out[:]); n != 1 || out[0] != b {
+		t.Fatalf("guest did not receive the transferred buffer (n=%d)", n)
+	}
+	if out[0].Seq != 9 {
+		t.Fatal("metadata lost in transfer")
+	}
+	out[0].Free()
 }
 
 func TestGuestNotifyDelayGatesVisibility(t *testing.T) {
-	dev, host, _ := newDev(Config{Name: "v0", GuestNotifyDelay: 5 * units.Microsecond})
+	const delay = 5 * units.Microsecond
+	dev := New(Config{Name: "v0", GuestNotifyDelay: delay})
+	pool := pkt.NewPool(2048)
 	m := cost.NewMeter(cost.Default(), nil)
-	dev.HostEnqueue(0, m, host.Get(64))
+	dev.HostEnqueue(0, m, pool.Get(64))
 	var out [4]*pkt.Buf
 	if n := dev.GuestRecv(2*units.Microsecond, m, out[:]); n != 0 {
 		t.Fatalf("frame visible before notify delay: %d", n)
 	}
-	if n := dev.GuestRecv(6*units.Microsecond, m, out[:]); n != 1 {
-		t.Fatalf("frame not visible after delay: %d", n)
+	// Exact boundary: a frame whose AvailAt equals now is visible.
+	if n := dev.GuestRecv(delay-units.Nanosecond, m, out[:]); n != 0 {
+		t.Fatalf("frame visible 1ns before the boundary: %d", n)
+	}
+	if n := dev.GuestRecv(delay, m, out[:]); n != 1 {
+		t.Fatalf("frame not visible at the exact boundary: %d", n)
 	}
 	out[0].Free()
 }
 
 func TestVringOverflowDrops(t *testing.T) {
-	dev, host, _ := newDev(Config{Name: "v0", QueueLen: 4})
+	dev := New(Config{Name: "v0", QueueLen: 4})
+	pool := pkt.NewPool(2048)
 	m := cost.NewMeter(cost.Default(), nil)
 	accepted := 0
 	for i := 0; i < 10; i++ {
-		b := host.Get(64)
+		b := pool.Get(64)
 		if dev.HostEnqueue(0, m, b) {
 			accepted++
 		} else {
@@ -68,15 +78,41 @@ func TestVringOverflowDrops(t *testing.T) {
 	if dev.RxDrops() != 6 {
 		t.Fatalf("drops = %d", dev.RxDrops())
 	}
-	if host.Live() != 0 {
-		t.Fatalf("host buffers leaked: %d", host.Live())
+	// Accepted frames live on in the vring; rejected ones went back.
+	if pool.Live() != 4 {
+		t.Fatalf("live = %d, want the 4 enqueued frames", pool.Live())
+	}
+}
+
+func TestBurstEnqueueBackpressure(t *testing.T) {
+	dev := New(Config{Name: "v0", QueueLen: 4})
+	pool := pkt.NewPool(2048)
+	m := cost.NewMeter(cost.Default(), nil)
+	in := make([]*pkt.Buf, 10)
+	for i := range in {
+		in[i] = pool.Get(64)
+	}
+	if n := dev.HostEnqueueBurst(0, m, in); n != 4 {
+		t.Fatalf("burst enqueue = %d, want ring size", n)
+	}
+	if dev.RxDrops() != 6 {
+		t.Fatalf("drops = %d", dev.RxDrops())
+	}
+	if dev.HostCopies != 4 {
+		t.Fatalf("copies = %d, rejects must not be charged as copies", dev.HostCopies)
+	}
+	// The burst frees rejects itself (unlike per-frame HostEnqueue, whose
+	// caller keeps ownership on failure).
+	if pool.Live() != 4 {
+		t.Fatalf("live = %d, rejects leaked", pool.Live())
 	}
 }
 
 func TestGuestSendHostDequeue(t *testing.T) {
-	dev, host, guest := newDev(Config{Name: "v0"})
+	dev := New(Config{Name: "v0"})
+	pool := pkt.NewPool(2048)
 	gm := cost.NewMeter(cost.Default(), nil)
-	g := guest.Get(128)
+	g := pool.Get(128)
 	g.Seq = 42
 	if !dev.GuestSend(gm, g) {
 		t.Fatal("guest send failed")
@@ -89,27 +125,100 @@ func TestGuestSendHostDequeue(t *testing.T) {
 	if n := dev.HostDequeue(hm, out[:]); n != 1 {
 		t.Fatalf("dequeue = %d", n)
 	}
-	if out[0].Seq != 42 || out[0].Len() != 128 {
-		t.Fatal("payload mismatch")
-	}
-	// Dequeue copies guest→host and frees guest memory.
-	if guest.Live() != 0 || host.Live() != 1 {
-		t.Fatalf("guest live=%d host live=%d", guest.Live(), host.Live())
+	if out[0] != g || out[0].Seq != 42 || out[0].Len() != 128 {
+		t.Fatal("transferred buffer mismatch")
 	}
 	if hm.Pending() == 0 {
 		t.Fatal("dequeue copy charged nothing")
 	}
 	out[0].Free()
+	if pool.Live() != 0 {
+		t.Fatalf("leak: %d live", pool.Live())
+	}
+}
+
+// TestPerFrameVsBurstEquivalence drives two identical devices — one with
+// the per-frame reference calls, one with the burst calls — through the
+// same overloaded traffic and requires identical charges, copies, drops,
+// and frame order (the bit-identity contract of the fast path).
+func TestPerFrameVsBurstEquivalence(t *testing.T) {
+	const queue, offered = 8, 13
+	mkFrames := func(pool *pkt.Pool) []*pkt.Buf {
+		in := make([]*pkt.Buf, offered)
+		for i := range in {
+			in[i] = pool.Get(64 + i*17)
+			in[i].Seq = uint64(i + 1)
+		}
+		return in
+	}
+
+	// Host→guest direction.
+	refDev, refPool := New(Config{Name: "ref", QueueLen: queue}), pkt.NewPool(2048)
+	refM := cost.NewMeter(cost.Default(), nil)
+	for _, b := range mkFrames(refPool) {
+		if !refDev.HostEnqueue(units.Microsecond, refM, b) {
+			b.Free()
+		}
+	}
+	optDev, optPool := New(Config{Name: "opt", QueueLen: queue}), pkt.NewPool(2048)
+	optM := cost.NewMeter(cost.Default(), nil)
+	optDev.HostEnqueueBurst(units.Microsecond, optM, mkFrames(optPool))
+
+	if refM.Pending() != optM.Pending() {
+		t.Fatalf("enqueue charges diverge: ref=%d opt=%d", refM.Pending(), optM.Pending())
+	}
+	if refDev.HostCopies != optDev.HostCopies || refDev.RxDrops() != optDev.RxDrops() {
+		t.Fatalf("enqueue accounting diverges: copies %d/%d drops %d/%d",
+			refDev.HostCopies, optDev.HostCopies, refDev.RxDrops(), optDev.RxDrops())
+	}
+	var refOut, optOut [queue]*pkt.Buf
+	rn := refDev.GuestRecv(units.Second, refM, refOut[:])
+	on := optDev.GuestRecv(units.Second, optM, optOut[:])
+	if rn != on {
+		t.Fatalf("delivered counts diverge: %d vs %d", rn, on)
+	}
+	for i := 0; i < rn; i++ {
+		if refOut[i].Seq != optOut[i].Seq || refOut[i].Len() != optOut[i].Len() {
+			t.Fatalf("frame %d diverges: seq %d/%d len %d/%d",
+				i, refOut[i].Seq, optOut[i].Seq, refOut[i].Len(), optOut[i].Len())
+		}
+	}
+
+	// Guest→host direction, reusing the delivered frames.
+	refGM, optGM := cost.NewMeter(cost.Default(), nil), cost.NewMeter(cost.Default(), nil)
+	for _, b := range refOut[:rn] {
+		if !refDev.GuestSend(refGM, b) {
+			b.Free()
+		}
+	}
+	optDev.GuestSendBurst(optGM, append([]*pkt.Buf(nil), optOut[:on]...))
+	if refGM.Pending() != optGM.Pending() {
+		t.Fatalf("guest send charges diverge: ref=%d opt=%d", refGM.Pending(), optGM.Pending())
+	}
+	refHM, optHM := cost.NewMeter(cost.Default(), nil), cost.NewMeter(cost.Default(), nil)
+	var refBack, optBack [queue]*pkt.Buf
+	rb := refDev.HostDequeue(refHM, refBack[:])
+	ob := optDev.HostDequeueBurst(optHM, optBack[:])
+	if rb != ob || refHM.Pending() != optHM.Pending() {
+		t.Fatalf("dequeue diverges: n %d/%d charge %d/%d", rb, ob, refHM.Pending(), optHM.Pending())
+	}
+	for i := 0; i < rb; i++ {
+		if refBack[i].Seq != optBack[i].Seq {
+			t.Fatalf("dequeue order diverges at %d: %d vs %d", i, refBack[i].Seq, optBack[i].Seq)
+		}
+		refBack[i].Free()
+		optBack[i].Free()
+	}
 }
 
 func TestCostScaleDirections(t *testing.T) {
-	cheap, _, _ := newDev(Config{Name: "a", CostScale: 1})
-	costly, _, _ := newDev(Config{Name: "b", EnqScale: 2, DeqScale: 0.5})
+	cheap := New(Config{Name: "a", CostScale: 1})
+	costly := New(Config{Name: "b", EnqScale: 2, DeqScale: 0.5})
+	pool := pkt.NewPool(2048)
 
 	chargeEnq := func(d *Device) units.Cycles {
 		m := cost.NewMeter(cost.Default(), nil)
-		b := d.cfg.HostPool.Get(64)
-		d.HostEnqueue(0, m, b)
+		d.HostEnqueue(0, m, pool.Get(64))
 		return m.Pending()
 	}
 	if 2*chargeEnq(cheap) != chargeEnq(costly) {
@@ -118,22 +227,14 @@ func TestCostScaleDirections(t *testing.T) {
 }
 
 func TestCopyCostGrowsWithFrameSize(t *testing.T) {
-	dev, host, _ := newDev(Config{Name: "v0"})
+	dev := New(Config{Name: "v0"})
+	pool := pkt.NewPool(2048)
 	charge := func(size int) units.Cycles {
 		m := cost.NewMeter(cost.Default(), nil)
-		dev.HostEnqueue(0, m, host.Get(size))
+		dev.HostEnqueue(0, m, pool.Get(size))
 		return m.Pending()
 	}
 	if charge(64) >= charge(1024) {
 		t.Fatal("1024B crossing not costlier than 64B")
 	}
-}
-
-func TestMissingPoolsPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("no panic")
-		}
-	}()
-	New(Config{Name: "bad"})
 }

@@ -32,6 +32,7 @@ type Generator struct {
 	nextProbe units.Time
 	nextDue   units.Time
 	tmpl      *pkt.Template // lazily built frame image for Spec
+	scratch   []*pkt.Buf    // burst staging, reused every step
 
 	// Sent counts emitted frames.
 	Sent int64
@@ -55,33 +56,61 @@ func StartGenerator(s *sim.Scheduler, name string, g *Generator, m *cost.Meter, 
 	return g
 }
 
+// makeFrame builds one template-backed frame and charges the per-frame
+// generation cost (charged per attempt, whether or not the send lands —
+// the guest core did the work either way).
+func (g *Generator) makeFrame(now units.Time) *pkt.Buf {
+	if g.tmpl == nil {
+		g.tmpl = g.Spec.Template(0)
+	}
+	b := g.Pool.Get(g.Spec.FrameLen)
+	b.SetTemplate(g.tmpl)
+	g.seq++
+	b.Seq = g.seq
+	if g.ProbeEvery > 0 && now >= g.nextProbe {
+		pkt.MarkProbe(b, g.seq, now) // software timestamp
+		g.nextProbe = now + g.ProbeEvery
+	}
+	g.meter.Charge(guestGenPerPkt)
+	return b
+}
+
 // Step implements sim.Actor.
 func (g *Generator) Step(now units.Time) (units.Time, bool) {
-	sent := 0
 	burst := g.Burst
 	if g.VirtualRate > 0 && g.ProbeEvery > 0 {
 		// Latency runs pace frames individually (MoonGen CBR).
 		burst = 1
 	}
-	for i := 0; i < burst; i++ {
-		if g.tmpl == nil {
-			g.tmpl = g.Spec.Template(0)
-		}
-		b := g.Pool.Get(g.Spec.FrameLen)
-		b.SetTemplate(g.tmpl)
-		g.seq++
-		b.Seq = g.seq
-		if g.ProbeEvery > 0 && now >= g.nextProbe {
-			pkt.MarkProbe(b, g.seq, now) // software timestamp
-			g.nextProbe = now + g.ProbeEvery
-		}
-		g.meter.Charge(guestGenPerPkt)
-		if !g.If.Send(now, g.meter, b) {
+	if cap(g.scratch) < burst {
+		g.scratch = make([]*pkt.Buf, burst)
+	}
+	// Stage only what the device can take, then post it as one burst. A
+	// per-frame loop would generate one more frame into a full ring and
+	// lose it (paying the generation cost and a ring drop); reproduce
+	// that blocked attempt literally so drops and charges stay identical.
+	toSend := burst
+	blocked := false
+	if space := g.If.SendSpace(); space < toSend {
+		toSend = space
+		blocked = true
+	}
+	for i := 0; i < toSend; i++ {
+		g.scratch[i] = g.makeFrame(now)
+	}
+	sent := 0
+	if toSend > 0 {
+		sent = g.If.SendBurst(now, g.meter, g.scratch[:toSend])
+		g.Sent += int64(sent)
+	}
+	if blocked {
+		b := g.makeFrame(now)
+		if g.If.Send(now, g.meter, b) {
+			g.Sent++
+			sent++
+		} else {
 			b.Free()
-			break
 		}
-		g.Sent++
-		sent++
 	}
 	elapsed := g.meter.Drain()
 	if g.VirtualRate > 0 {
@@ -120,11 +149,13 @@ type Monitor struct {
 	Hist stats.Histogram
 	// Capture, when set, observes every consumed frame (pcap dumps).
 	Capture func(at units.Time, b *pkt.Buf)
+
+	scratch [64]*pkt.Buf // receive staging, reused across polls
 }
 
 // Poll implements cpu.PollFunc; the monitor runs on a guest core.
 func (mo *Monitor) Poll(now units.Time, m *cost.Meter) bool {
-	var burst [64]*pkt.Buf
+	burst := &mo.scratch
 	n := mo.If.Recv(now, m, burst[:])
 	for _, b := range burst[:n] {
 		mo.Rx.Add(1, int64(b.Len()))

@@ -33,6 +33,20 @@ type L2Fwd struct {
 	batchAB, batchBA []*pkt.Buf
 	firstAB, firstBA units.Time
 
+	// derivedAB/derivedBA memoize this VNF's MAC rewrite per input
+	// template and direction: the rewrite is deterministic, so a
+	// template-backed frame swaps its template pointer instead of
+	// materializing 60+ bytes per frame. The cache stays tiny — one
+	// entry per distinct upstream template (generator flow or upstream
+	// VNF).
+	derivedAB, derivedBA map[*pkt.Template]*pkt.Template
+
+	// scratch is the receive staging array, hoisted off the poll path:
+	// a stack array handed through the NetIf interface escapes, which
+	// costs one heap allocation per pump on a core that polls every few
+	// hundred simulated nanoseconds.
+	scratch [L2FwdBurst]*pkt.Buf
+
 	// Forwarded and Dropped count frames through the VNF.
 	Forwarded, Dropped int64
 }
@@ -42,25 +56,53 @@ func (f *L2Fwd) Poll(now units.Time, m *cost.Meter) bool {
 	if f.Drain == 0 {
 		f.Drain = L2FwdDrainDefault
 	}
-	did := f.pump(now, m, f.A, f.B, f.RewriteAB, &f.batchAB, &f.firstAB)
-	did = f.pump(now, m, f.B, f.A, f.RewriteBA, &f.batchBA, &f.firstBA) || did
+	if f.derivedAB == nil {
+		f.derivedAB = make(map[*pkt.Template]*pkt.Template)
+		f.derivedBA = make(map[*pkt.Template]*pkt.Template)
+	}
+	did := f.pump(now, m, f.A, f.B, f.RewriteAB, f.derivedAB, &f.batchAB, &f.firstAB)
+	did = f.pump(now, m, f.B, f.A, f.RewriteBA, f.derivedBA, &f.batchBA, &f.firstBA) || did
 	return did
 }
 
-func (f *L2Fwd) pump(now units.Time, m *cost.Meter, from, to NetIf, rewrite *pkt.MAC, batch *[]*pkt.Buf, first *units.Time) bool {
-	var burst [L2FwdBurst]*pkt.Buf
+// rewriteMACs applies this VNF's header edit to one frame. Template-backed
+// frames swap to a memoized derived template (same bytes, no materialize);
+// anything else — probe frames, frames a switch already materialized —
+// takes the byte path.
+func (f *L2Fwd) rewriteMACs(b *pkt.Buf, rewrite *pkt.MAC, derived map[*pkt.Template]*pkt.Template) {
+	if t := b.Template(); t != nil && b.Len() == t.Len() {
+		d, ok := derived[t]
+		if !ok {
+			d = t.Derive(func(data []byte) {
+				pkt.SetEthSrc(data, f.OwnMAC)
+				if rewrite != nil {
+					pkt.SetEthDst(data, *rewrite)
+				}
+			})
+			derived[t] = d
+		}
+		b.SetTemplate(d)
+		return
+	}
+	data := b.Bytes()
+	pkt.SetEthSrc(data, f.OwnMAC)
+	if rewrite != nil {
+		pkt.SetEthDst(data, *rewrite)
+	}
+}
+
+func (f *L2Fwd) pump(now units.Time, m *cost.Meter, from, to NetIf, rewrite *pkt.MAC, derived map[*pkt.Template]*pkt.Template, batch *[]*pkt.Buf, first *units.Time) bool {
+	burst := &f.scratch
 	n := from.Recv(now, m, burst[:])
-	for _, b := range burst[:n] {
-		m.Charge(l2fwdPerPkt)
-		data := b.Bytes()
-		pkt.SetEthSrc(data, f.OwnMAC)
-		if rewrite != nil {
-			pkt.SetEthDst(data, *rewrite)
+	if n > 0 {
+		m.Charge(units.Cycles(n) * l2fwdPerPkt)
+		for _, b := range burst[:n] {
+			f.rewriteMACs(b, rewrite, derived)
 		}
 		if len(*batch) == 0 {
 			*first = now
 		}
-		*batch = append(*batch, b)
+		*batch = append(*batch, burst[:n]...)
 	}
 	// Strict batching: flush on a full burst or when the oldest buffered
 	// frame has waited out the drain timer.
@@ -71,14 +113,9 @@ func (f *L2Fwd) pump(now units.Time, m *cost.Meter, from, to NetIf, rewrite *pkt
 }
 
 func (f *L2Fwd) flush(now units.Time, m *cost.Meter, to NetIf, batch *[]*pkt.Buf) {
-	for _, b := range *batch {
-		if to.Send(now, m, b) {
-			f.Forwarded++
-		} else {
-			b.Free()
-			f.Dropped++
-		}
-	}
+	sent := to.SendBurst(now, m, *batch)
+	f.Forwarded += int64(sent)
+	f.Dropped += int64(len(*batch) - sent)
 	*batch = (*batch)[:0]
 }
 
@@ -89,6 +126,8 @@ func (f *L2Fwd) flush(now units.Time, m *cost.Meter, to NetIf, batch *[]*pkt.Buf
 type ValeFwd struct {
 	A, B NetIf
 	Pool *pkt.Pool // guest memory for the inter-port copies
+
+	scratch [64]*pkt.Buf // receive staging, reused across polls
 
 	Forwarded, Dropped int64
 }
@@ -107,7 +146,7 @@ func (f *ValeFwd) Poll(now units.Time, m *cost.Meter) bool {
 }
 
 func (f *ValeFwd) pump(now units.Time, m *cost.Meter, from, to NetIf) bool {
-	var burst [64]*pkt.Buf
+	burst := &f.scratch
 	n := from.Recv(now, m, burst[:])
 	for _, b := range burst[:n] {
 		m.Charge(valeFwdPerPkt + valeFwdCopyPerByteMi*units.Cycles(b.Len())/1000)

@@ -33,6 +33,13 @@ type NetIf interface {
 	// Send posts one frame toward the host; the caller keeps ownership
 	// on failure.
 	Send(now units.Time, m *cost.Meter, b *pkt.Buf) bool
+	// SendBurst posts a batch toward the host, charging descriptor work
+	// once; frames the device rejects are freed and counted as device
+	// drops, exactly as a per-frame Send loop whose caller frees
+	// failures. Returns the accepted count.
+	SendBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int
+	// SendSpace reports how many frames SendBurst can currently accept.
+	SendSpace() int
 	// Recv takes up to len(out) frames from the host.
 	Recv(now units.Time, m *cost.Meter, out []*pkt.Buf) int
 	// Pending reports frames awaiting Recv.
@@ -51,6 +58,14 @@ func (v *VirtioIf) Name() string { return v.Dev.Name() }
 func (v *VirtioIf) Send(now units.Time, m *cost.Meter, b *pkt.Buf) bool {
 	return v.Dev.GuestSend(m, b)
 }
+
+// SendBurst implements NetIf.
+func (v *VirtioIf) SendBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int {
+	return v.Dev.GuestSendBurst(m, in)
+}
+
+// SendSpace implements NetIf.
+func (v *VirtioIf) SendSpace() int { return v.Dev.GuestSendSpace() }
 
 // Recv implements NetIf.
 func (v *VirtioIf) Recv(now units.Time, m *cost.Meter, out []*pkt.Buf) int {
@@ -72,6 +87,14 @@ func (p *PtnetIf) Name() string { return p.Dev.Name() }
 func (p *PtnetIf) Send(now units.Time, m *cost.Meter, b *pkt.Buf) bool {
 	return p.Dev.GuestSend(now, m, b)
 }
+
+// SendBurst implements NetIf.
+func (p *PtnetIf) SendBurst(now units.Time, m *cost.Meter, in []*pkt.Buf) int {
+	return p.Dev.GuestSendBurst(now, m, in)
+}
+
+// SendSpace implements NetIf.
+func (p *PtnetIf) SendSpace() int { return p.Dev.GuestSendSpace() }
 
 // Recv implements NetIf.
 func (p *PtnetIf) Recv(now units.Time, m *cost.Meter, out []*pkt.Buf) int {

@@ -14,8 +14,7 @@ import (
 
 func virtioPair(name string) (*vhost.Device, *VirtioIf, *pkt.Pool, *pkt.Pool) {
 	host, guest := pkt.NewPool(2048), pkt.NewPool(2048)
-	dev := vhost.New(vhost.Config{Name: name, GuestPool: guest, HostPool: host,
-		GuestNotifyDelay: units.Nanosecond})
+	dev := vhost.New(vhost.Config{Name: name, GuestNotifyDelay: units.Nanosecond})
 	return dev, &VirtioIf{Dev: dev}, host, guest
 }
 
