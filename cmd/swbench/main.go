@@ -7,7 +7,7 @@
 //	swbench run -switch vpp -scenario p2p [-size 64] [-bidir] [-chain N]
 //	            [-rate-gbps 5] [-latency] [-duration-ms 20]
 //	swbench rplus -switch vpp -scenario loopback -chain 2
-//	swbench figure 1|4a|4b|4c|5|6 [-quick] [-compare] [-workers N]
+//	swbench figure 1|4a|4b|4c|5|6|scaling [-quick] [-compare] [-workers N]
 //	swbench table 1|2|3|4|5 [-quick] [-compare] [-workers N]
 //	swbench all [-quick] [-compare] [-workers N]   # every figure and table
 //	swbench campaign list
@@ -28,13 +28,14 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "usage: swbench <list|run|rplus|figure|table|all> [flags]")
 	fmt.Fprintln(os.Stderr, "  swbench list")
 	fmt.Fprintln(os.Stderr, "  swbench run -switch vpp -scenario p2p|p2v|v2v|loopback [-size N] [-bidir] [-chain N] [-rate-gbps G] [-latency]")
+	fmt.Fprintln(os.Stderr, "              [-cores N -dispatch rss|rtc [-rss-policy roundrobin|flowhash]]  # multi-core data plane")
 	fmt.Fprintln(os.Stderr, "  swbench run -switch vpp -topology graph.json          # custom topology as the scenario")
 	fmt.Fprintln(os.Stderr, "  swbench topo [-file graph.json | -scenario p2p [-chain N] [-bidir] [-reversed] [-latency-topology]]")
 	fmt.Fprintln(os.Stderr, "               [-format json|dot] [-validate]           # compile and print a topology")
 	fmt.Fprintln(os.Stderr, "  swbench rplus -switch vpp -scenario p2p")
 	fmt.Fprintln(os.Stderr, "  swbench ndr -switch vpp -scenario p2p [-loss-tolerance N]")
 	fmt.Fprintln(os.Stderr, "  swbench windows -switch snabb -n 10      # windowed time series")
-	fmt.Fprintln(os.Stderr, "  swbench figure 1|4a|4b|4c|5|6 [-quick] [-compare] [-workers N]")
+	fmt.Fprintln(os.Stderr, "  swbench figure 1|4a|4b|4c|5|6|scaling [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench table 1|2|3|4|5 [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench all [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench campaign list | <name> [-quick] [-workers N] [-timeout D] [-cache-dir P] [-artifacts F] [-resume] [-bench-out F]")
@@ -107,7 +108,9 @@ func runCmd(args []string) error {
 	latency := fs.Bool("latency", false, "inject latency probes")
 	durationMs := fs.Float64("duration-ms", 20, "measurement window (simulated ms)")
 	seed := fs.Uint64("seed", 1, "simulation seed")
-	fs.IntVar(&cfg.SUTCores, "cores", 1, "SUT cores (RSS port sharding; poll-mode switches)")
+	fs.IntVar(&cfg.SUTCores, "cores", 1, "SUT data-plane cores (poll-mode switches only)")
+	fs.StringVar(&cfg.Dispatch, "dispatch", "", "multi-core dispatch mode: rss or rtc (default rss when -cores > 1)")
+	fs.StringVar(&cfg.RSSPolicy, "rss-policy", "", "rss steering: roundrobin or flowhash (default roundrobin)")
 	fs.IntVar(&cfg.Flows, "flows", 1, "number of synthetic flows")
 	fs.BoolVar(&cfg.Containers, "containers", false, "host VNFs in containers instead of VMs")
 	fs.StringVar(&cfg.CapturePath, "pcap", "", "dump delivered frames to this pcap file")
@@ -199,7 +202,7 @@ func opts(quick bool) swbench.RunOpts {
 
 func figureCmd(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("figure needs an id: 1, 4a, 4b, 4c, 5, 6")
+		return fmt.Errorf("figure needs an id: 1, 4a, 4b, 4c, 5, 6, scaling")
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
@@ -232,6 +235,13 @@ func figureCSV(r swbench.Runner, id string, o swbench.RunOpts, path string) erro
 			return err
 		}
 		return swbench.WriteFigure1CSV(f, pts)
+	}
+	if id == "scaling" {
+		fig, err := swbench.FigureScalingOn(r, o)
+		if err != nil {
+			return err
+		}
+		return swbench.WriteScalingCSV(f, fig)
 	}
 	var fig *swbench.Figure
 	switch id {
@@ -292,6 +302,13 @@ func renderFigure(r swbench.Runner, id string, o swbench.RunOpts, compare bool) 
 			return err
 		}
 		swbench.RenderFigure1(os.Stdout, pts)
+		return nil
+	case "scaling":
+		fig, err := swbench.FigureScalingOn(r, o)
+		if err != nil {
+			return err
+		}
+		swbench.RenderScalingFigure(os.Stdout, fig)
 		return nil
 	case "4a", "4b", "4c", "5", "6":
 		var fig *swbench.Figure

@@ -33,7 +33,9 @@ type Cell struct {
 // Cells returns the representative workload set: the stress cell every
 // switch paper plots first (p2p at 64B), the three vhost-heavy guest
 // paths (p2v, v2v, and a 4-VNF loopback chain — the deepest pipeline the
-// paper measures for every switch).
+// paper measures for every switch), and the two multi-core dispatch
+// paths (4-core RSS and the 4-core RTC pipeline), which stress the fleet
+// fan-out, demux, and handoff-ring machinery.
 func Cells(o core.RunOpts) []Cell {
 	mk := func(name string, cfg core.Config) Cell {
 		return Cell{Name: name, Cfg: o.Apply(cfg)}
@@ -44,6 +46,11 @@ func Cells(o core.RunOpts) []Cell {
 		mk("p2v-64B", core.Config{Switch: "vpp", Scenario: core.P2V, FrameLen: 64}),
 		mk("v2v-64B", core.Config{Switch: "vpp", Scenario: core.V2V, FrameLen: 64}),
 		mk("loopback-4", core.Config{Switch: "vpp", Scenario: core.Loopback, Chain: 4, FrameLen: 64}),
+		mk("p2p-64B-4core", core.Config{Switch: "vpp", Scenario: core.P2P, FrameLen: 64,
+			Bidir: true, Flows: 64, SUTCores: 4,
+			Dispatch: core.DispatchRSS, RSSPolicy: core.RSSFlowHash}),
+		mk("rtc-chain-4core", core.Config{Switch: "vpp", Scenario: core.Loopback, Chain: 2,
+			FrameLen: 64, Flows: 64, SUTCores: 4, Dispatch: core.DispatchRTC}),
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/switches/switchdef"
 )
 
 // builtinDef builds one named campaign's spec list.
@@ -54,6 +55,32 @@ var builtins = map[string]builtinDef{
 			}
 		}
 		return prefixed("rplus", cfgs), nil
+	}},
+	"scaling": {"multi-core scaling curves: cores x dispatch x size x switch", func(o core.RunOpts) ([]Spec, error) {
+		// The figure grid repeats the shared 1-core cells once per
+		// dispatch mode, and includes multi-core cells for switches
+		// that cannot run them (the figure renders those as "-"); a
+		// campaign measures each runnable cell exactly once.
+		var cfgs []core.Config
+		for _, cfg := range core.ScalingSpecs(o) {
+			if cfg.SUTCores > 1 {
+				if info, err := switchdef.Lookup(cfg.Switch); err == nil && info.IOMode == switchdef.InterruptMode {
+					continue
+				}
+			}
+			cfgs = append(cfgs, cfg)
+		}
+		specs := prefixed("scaling", cfgs)
+		seen := make(map[string]bool, len(specs))
+		var out []Spec
+		for _, s := range specs {
+			if seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
+			out = append(out, s)
+		}
+		return out, nil
 	}},
 	"throughput": {"every throughput figure grid (Figs. 4a-c, 5, 6)", func(o core.RunOpts) ([]Spec, error) {
 		var specs []Spec

@@ -52,6 +52,12 @@ func AutoID(cfg core.Config) string {
 	if c.Bidir {
 		b.WriteString("-bidir")
 	}
+	if c.SUTCores > 1 {
+		fmt.Fprintf(&b, "-%dcore-%s", c.SUTCores, c.Dispatch)
+		if c.Dispatch == core.DispatchRSS && c.RSSPolicy != "" {
+			fmt.Fprintf(&b, "-%s", c.RSSPolicy)
+		}
+	}
 	if c.Reversed {
 		b.WriteString("-rev")
 	}

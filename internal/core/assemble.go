@@ -19,6 +19,7 @@ func (tb *testbed) wire() error {
 	if err != nil {
 		return err
 	}
+	tb.graph = g
 	return topo.Compile(g, newAssembler(tb))
 }
 

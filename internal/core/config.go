@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/multicore"
 	"repro/internal/stats"
 	"repro/internal/topo"
 	"repro/internal/units"
@@ -94,11 +95,25 @@ type Config struct {
 	// is a QEMU incompatibility and does not apply).
 	Containers bool
 
-	// SUTCores runs the switch data plane on several cores with its
-	// receive ports sharded RSS-style (default 1 — the paper's
-	// methodology; >1 implements the paper's "multi-core solutions"
-	// future work for poll-mode switches).
+	// SUTCores runs the switch data plane on several cores (default 1 —
+	// the paper's methodology; >1 implements the paper's "multi-core
+	// solutions" future work for poll-mode switches, each core running
+	// its own switch instance with private caches and tables).
 	SUTCores int
+	// Dispatch selects how a multi-core run distributes work:
+	// DispatchRSS (receive-side scaling: each core owns receive queues
+	// and runs the full data plane over them) or DispatchRTC (the path
+	// is split into steer/process/transmit pipeline stages chained
+	// across cores with handoff rings). Empty means DispatchRSS when
+	// SUTCores > 1; it must stay empty for single-core runs, keeping
+	// the paper-methodology configs byte-identical.
+	Dispatch string `json:",omitempty"`
+	// RSSPolicy picks how DispatchRSS assigns receive queues to cores:
+	// RSSRoundRobin (static queue → core map in declaration order, the
+	// default) or RSSFlowHash (hardware RSS: every physical port is
+	// spread over one queue per core by flow hash — the only way a
+	// single port scales past one core).
+	RSSPolicy string `json:",omitempty"`
 
 	// Duration is the measurement window (default 20 ms simulated).
 	Duration units.Time
@@ -112,8 +127,30 @@ type Config struct {
 	CapturePath string
 }
 
+// Dispatch modes and RSS policies (see internal/multicore).
+const (
+	DispatchRSS = multicore.ModeRSS
+	DispatchRTC = multicore.ModeRTC
+
+	RSSRoundRobin = multicore.PolicyRoundRobin
+	RSSFlowHash   = multicore.PolicyFlowHash
+)
+
 // withDefaults returns cfg with defaults applied.
 func (cfg Config) withDefaults() Config {
+	if cfg.Topology != nil {
+		// A topology graph may carry the multi-core dimension; explicit
+		// Config fields win.
+		if cfg.SUTCores == 0 && cfg.Topology.SUTCores > 0 {
+			cfg.SUTCores = cfg.Topology.SUTCores
+		}
+		if cfg.Dispatch == "" {
+			cfg.Dispatch = cfg.Topology.Dispatch
+		}
+		if cfg.RSSPolicy == "" {
+			cfg.RSSPolicy = cfg.Topology.RSSPolicy
+		}
+	}
 	if cfg.FrameLen == 0 {
 		cfg.FrameLen = 64
 	}
@@ -131,6 +168,14 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.SUTCores == 0 {
 		cfg.SUTCores = 1
+	}
+	if cfg.SUTCores > 1 {
+		if cfg.Dispatch == "" {
+			cfg.Dispatch = DispatchRSS
+		}
+		if cfg.Dispatch == DispatchRSS && cfg.RSSPolicy == "" {
+			cfg.RSSPolicy = RSSRoundRobin
+		}
 	}
 	return cfg
 }
@@ -156,6 +201,36 @@ func (cfg Config) Validate() error {
 	if c.SUTCores < 1 {
 		errs = append(errs, errors.New("core: SUTCores must be at least 1"))
 	}
+	switch c.Dispatch {
+	case "":
+		// Single-core: the multi-core dimension must stay unset.
+		if c.RSSPolicy != "" {
+			errs = append(errs, fmt.Errorf("core: RSSPolicy %q needs SUTCores > 1", c.RSSPolicy))
+		}
+	case DispatchRSS:
+		if c.SUTCores == 1 {
+			errs = append(errs, errors.New("core: rss dispatch needs SUTCores > 1"))
+		}
+		switch c.RSSPolicy {
+		case RSSRoundRobin, RSSFlowHash:
+		default:
+			errs = append(errs, fmt.Errorf("core: unknown rss policy %q (want %q or %q)", c.RSSPolicy, RSSRoundRobin, RSSFlowHash))
+		}
+		if c.SUTCores > 1 {
+			if err := c.validateRSSQueues(); err != nil {
+				errs = append(errs, err)
+			}
+		}
+	case DispatchRTC:
+		if c.SUTCores < 2 {
+			errs = append(errs, errors.New("core: rtc dispatch chains its pipeline stages (steer, process, transmit) across at least 2 cores"))
+		}
+		if c.RSSPolicy != "" {
+			errs = append(errs, fmt.Errorf("core: RSSPolicy %q applies to rss dispatch only", c.RSSPolicy))
+		}
+	default:
+		errs = append(errs, fmt.Errorf("core: unknown dispatch mode %q (want %q or %q)", c.Dispatch, DispatchRSS, DispatchRTC))
+	}
 	switch {
 	case c.Scenario == Custom && c.Topology == nil:
 		errs = append(errs, errors.New("core: the custom scenario needs a Topology graph"))
@@ -171,9 +246,48 @@ func (cfg Config) Validate() error {
 	return errors.Join(errs...)
 }
 
+// validateRSSQueues rejects an RSS core count the topology cannot feed:
+// under the round-robin policy each core needs a receive queue of its
+// own, and a flow-hashed run with no physical port is still bounded by
+// its guest interface count. Cores beyond the queue count would only
+// burn cycles idling.
+func (c Config) validateRSSQueues() error {
+	g, err := c.Graph()
+	if err != nil {
+		return nil // the scenario/topology checks already reported this
+	}
+	phys, physQueues, guests := 0, 0, 0
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case topo.KindPhysPair:
+			phys++
+			q := n.Queues
+			if q < 1 {
+				q = 1
+			}
+			physQueues += q
+		case topo.KindGuestIf:
+			guests++
+		}
+	}
+	switch {
+	case c.RSSPolicy == RSSRoundRobin && c.SUTCores > physQueues+guests:
+		return fmt.Errorf("core: rss/roundrobin cannot feed %d cores from %d receive queues (%d physical, %d guest) — declare more NIC queues, use the flowhash policy, or drop cores",
+			c.SUTCores, physQueues+guests, physQueues, guests)
+	case c.RSSPolicy == RSSFlowHash && phys == 0 && c.SUTCores > guests:
+		return fmt.Errorf("core: rss/flowhash has no physical port to spread; %d cores exceed the %d guest interfaces", c.SUTCores, guests)
+	}
+	return nil
+}
+
 // ErrChainTooLong reports a switch-specific VM-count limit (BESS's QEMU
 // incompatibility, paper footnote 5). Experiments render it as "-".
 var ErrChainTooLong = errors.New("core: switch cannot host this many VMs (QEMU incompatibility)")
+
+// ErrNoMultiCore reports a switch that cannot run its data plane on
+// several cores (VALE's interrupt-driven kernel path). Scaling figures
+// render it as unsupported.
+var ErrNoMultiCore = errors.New("core: switch does not support multi-core operation")
 
 // DirResult is per-direction throughput.
 type DirResult struct {
@@ -207,6 +321,12 @@ type Result struct {
 	// SUTBusyFrac is the fraction of SUT core cycles doing useful work
 	// (averaged over cores in multi-core runs).
 	SUTBusyFrac float64
+	// EffectiveCores is how many SUT cores actually carried the data
+	// plane — min(SUTCores, receive queues) under RSS dispatch, all of
+	// them under RTC. Zero for single-core runs.
+	EffectiveCores int `json:",omitempty"`
+	// Cores breaks utilization down per SUT core in multi-core runs.
+	Cores []CoreUtil `json:",omitempty"`
 	// Drops counts frames lost anywhere in the data path.
 	Drops int64
 	// HostCopies counts the vhost guest-memory copies the SUT core paid
@@ -215,4 +335,12 @@ type Result struct {
 	HostCopies int64
 	// Steps is the scheduler step count (determinism fingerprint).
 	Steps uint64
+}
+
+// CoreUtil is one SUT core's utilization over the measurement window.
+type CoreUtil struct {
+	// Name is the core's role label (sut-core0, sut-rx, sut-proc0, ...).
+	Name string
+	// BusyFrac is the fraction of its cycles doing useful work.
+	BusyFrac float64
 }

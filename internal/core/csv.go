@@ -34,6 +34,34 @@ func WriteFigureCSV(w io.Writer, fig *Figure) error {
 	return cw.Error()
 }
 
+// WriteScalingCSV emits the scaling-curve family as CSV with the columns
+// switch,dispatch,frame_bytes,cores,effective_cores,gbps,mpps,unsupported.
+func WriteScalingCSV(w io.Writer, fig *ScalingFigure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"switch", "dispatch", "frame_bytes", "cores", "effective_cores", "gbps", "mpps", "unsupported"}); err != nil {
+		return err
+	}
+	for _, c := range fig.Curves {
+		for _, pt := range c.Points {
+			rec := []string{
+				c.Switch,
+				c.Dispatch,
+				fmt.Sprint(c.FrameLen),
+				fmt.Sprint(pt.Cores),
+				fmt.Sprint(pt.EffectiveCores),
+				fmt.Sprintf("%.4f", pt.Gbps),
+				fmt.Sprintf("%.4f", pt.Mpps),
+				fmt.Sprint(pt.Unsupported),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteFigure1CSV emits the scatter data with the columns
 // switch,gbps,mean_us,std_us.
 func WriteFigure1CSV(w io.Writer, pts []Figure1Point) error {

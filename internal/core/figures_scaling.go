@@ -1,0 +1,144 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/switches/switchdef"
+)
+
+// The scaling experiment follows the journal extension of the paper: the
+// multi-core future work of §6, measured as throughput-vs-cores curves.
+// Every cell is bidirectional p2p over 64 flows — flow-hashed RSS needs
+// flow diversity to spread a port across cores, and the RTC pipeline is
+// measured on the identical workload so the two dispatch modes compare
+// like for like. The 1-core point of every curve is the paper's original
+// single-core methodology (no dispatch dimension at all), shared between
+// the rss and rtc curves of a switch.
+
+// ScalingCores is the core-count sweep of the scaling figure.
+var ScalingCores = []int{1, 2, 4, 8, 16}
+
+// ScalingSizes are the frame sizes of the scaling figure: the hardest
+// (64B, CPU-bound) and the easiest (1500B, line-rate-bound) workloads.
+var ScalingSizes = []int{64, 1500}
+
+// ScalingDispatches are the two multi-core dispatch modes, in plotting
+// order.
+var ScalingDispatches = []string{DispatchRSS, DispatchRTC}
+
+// ScalingFlows is the flow count of every scaling cell.
+const ScalingFlows = 64
+
+// ScalingPoint is one (switch, dispatch, size, cores) measurement.
+type ScalingPoint struct {
+	Cores int
+	// EffectiveCores is how many cores carried the data plane (echoed
+	// from the Result; equals Cores unless queues ran short).
+	EffectiveCores int
+	Gbps           float64
+	Mpps           float64
+	// Unsupported marks switches that cannot run multi-core (VALE).
+	Unsupported bool
+}
+
+// ScalingCurve is one line of the scaling figure: a switch under one
+// dispatch mode at one frame size, across the core sweep.
+type ScalingCurve struct {
+	Switch   string
+	Display  string
+	Dispatch string
+	FrameLen int
+	Points   []ScalingPoint
+}
+
+// ScalingFigure is the reproduced scaling-curve family.
+type ScalingFigure struct {
+	Curves []ScalingCurve
+}
+
+// scalingConfig builds the cell config for one point. A single-core
+// point carries no dispatch dimension: it is the paper's methodology,
+// byte-identical to the calibrated baseline (and shared by both curves).
+func scalingConfig(name string, dispatch string, size, cores int, o RunOpts) Config {
+	cfg := Config{
+		Switch: name, Scenario: P2P, FrameLen: size,
+		Bidir: true, Flows: ScalingFlows, SUTCores: cores,
+	}
+	if cores > 1 {
+		cfg.Dispatch = dispatch
+		if dispatch == DispatchRSS {
+			// roundrobin cannot feed more than 2 cores from 2 ports;
+			// the scaling curves model hardware RSS.
+			cfg.RSSPolicy = RSSFlowHash
+		}
+	}
+	return o.apply(cfg)
+}
+
+// ScalingSpecs returns the flat measurement grid behind the scaling
+// figure — the spec set a campaign executes. Shared 1-core cells repeat
+// across dispatch modes; content-addressed caches collapse them.
+func ScalingSpecs(o RunOpts) []Config {
+	var specs []Config
+	for _, d := range ScalingDispatches {
+		for _, size := range ScalingSizes {
+			for _, name := range Switches {
+				for _, n := range ScalingCores {
+					specs = append(specs, scalingConfig(name, d, size, n, o))
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// FigureScaling reproduces the scaling-curve family (throughput vs. SUT
+// cores, every switch, RSS and RTC dispatch, 64B and 1500B frames).
+func FigureScaling(o RunOpts) (*ScalingFigure, error) {
+	return FigureScalingOn(SerialRunner{}, o)
+}
+
+// FigureScalingOn is FigureScaling on an explicit runner.
+func FigureScalingOn(r Runner, o RunOpts) (*ScalingFigure, error) {
+	specs := ScalingSpecs(o)
+	outs := r.RunAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	fig := &ScalingFigure{}
+	i := 0
+	for _, d := range ScalingDispatches {
+		for _, size := range ScalingSizes {
+			for _, name := range Switches {
+				info, err := switchdef.Lookup(name)
+				if err != nil {
+					return nil, err
+				}
+				curve := ScalingCurve{
+					Switch: name, Display: info.Display,
+					Dispatch: d, FrameLen: size,
+				}
+				for _, n := range ScalingCores {
+					out := outs[i]
+					i++
+					pt := ScalingPoint{Cores: n}
+					switch {
+					case errors.Is(out.Err, ErrNoMultiCore):
+						pt.Unsupported = true
+					case out.Err != nil:
+						return nil, out.Err
+					default:
+						pt.Gbps, pt.Mpps = out.Result.Gbps, out.Result.Mpps
+						pt.EffectiveCores = out.Result.EffectiveCores
+						if pt.EffectiveCores == 0 {
+							pt.EffectiveCores = n // single-core point
+						}
+					}
+					curve.Points = append(curve.Points, pt)
+				}
+				fig.Curves = append(fig.Curves, curve)
+			}
+		}
+	}
+	return fig, nil
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/units"
+)
+
+func resultDigest(t *testing.T, res Result) string {
+	t.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(blob)
+	return hex.EncodeToString(h[:16])
+}
+
+// TestMultiCoreGoldenDigests pins full Result JSON digests for the
+// multi-core dispatch paths: RSS under both steering policies and the
+// RTC pipeline, with the NUMA boundary crossed by the 16-core case.
+// These are the multi-core counterpart of TestGuestPathGoldenDigests:
+// any change to the fleet fan-out, the demux/handoff rings, the steer
+// and remote taxes, or per-core accounting shows up here as a digest
+// mismatch. Re-pin only with an argued equivalence (see DESIGN.md §3.3).
+func TestMultiCoreGoldenDigests(t *testing.T) {
+	cases := []struct {
+		cfg    Config
+		digest string
+	}{
+		{Config{Switch: "vpp", Scenario: P2P, FrameLen: 64, Bidir: true, SUTCores: 2}, "9606ad8900076a88214c1d88e8d84f19"},
+		{Config{Switch: "ovs", Scenario: P2P, FrameLen: 64, Bidir: true, Flows: 64,
+			SUTCores: 4, Dispatch: DispatchRSS, RSSPolicy: RSSFlowHash}, "145925ef8cc95e458a37e745dccb2988"},
+		{Config{Switch: "vpp", Scenario: P2P, FrameLen: 64, Bidir: true, Flows: 64,
+			SUTCores: 4, Dispatch: DispatchRTC}, "c2660b6f055c1bf654be77e12c3d23bf"},
+		{Config{Switch: "fastclick", Scenario: Loopback, Chain: 2, FrameLen: 64,
+			SUTCores: 4, Dispatch: DispatchRSS, RSSPolicy: RSSFlowHash}, "f42c686be10634810d28ba1ec2323a6a"},
+		{Config{Switch: "ovs", Scenario: P2P, FrameLen: 1500, Bidir: true, Flows: 64,
+			SUTCores: 16, Dispatch: DispatchRSS, RSSPolicy: RSSFlowHash}, "a49f950d4b8b45419e9c9f57677571e9"},
+	}
+	for _, tc := range cases {
+		cfg := tc.cfg
+		cfg.Duration = 2 * units.Millisecond
+		cfg.Warmup = units.Millisecond
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.cfg, err)
+		}
+		if got := resultDigest(t, res); got != tc.digest {
+			t.Errorf("%s/%s/%d-core: digest %s, want %s (multi-core data plane diverged)",
+				tc.cfg.Switch, cfg.Dispatch, cfg.SUTCores, got, tc.digest)
+		}
+		if res.EffectiveCores == 0 || len(res.Cores) != res.EffectiveCores {
+			t.Errorf("%s: EffectiveCores=%d with %d per-core records",
+				tc.cfg.Switch, res.EffectiveCores, len(res.Cores))
+		}
+	}
+}
+
+// TestMultiCoreDigestDeterminism: a fixed seed reproduces the entire
+// multi-core Result bit for bit, demuxes, handoff rings and all.
+func TestMultiCoreDigestDeterminism(t *testing.T) {
+	cfg := Config{Switch: "vpp", Scenario: P2P, FrameLen: 64, Bidir: true, Flows: 64,
+		SUTCores: 4, Dispatch: DispatchRTC,
+		Duration: 2 * units.Millisecond, Warmup: units.Millisecond}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da, db := resultDigest(t, a), resultDigest(t, b); da != db {
+		t.Fatalf("non-deterministic multi-core run: %s vs %s", da, db)
+	}
+}
+
+// TestValidateMultiCore covers the dispatch-dimension rejection rules.
+func TestValidateMultiCore(t *testing.T) {
+	bad := []Config{
+		// Dispatch dimensions are meaningless on one core.
+		{Switch: "vpp", Scenario: P2P, SUTCores: 1, Dispatch: DispatchRSS},
+		{Switch: "vpp", Scenario: P2P, SUTCores: 1, Dispatch: DispatchRTC},
+		{Switch: "vpp", Scenario: P2P, RSSPolicy: RSSFlowHash},
+		// Unknown enum values.
+		{Switch: "vpp", Scenario: P2P, SUTCores: 2, Dispatch: "pipeline"},
+		{Switch: "vpp", Scenario: P2P, SUTCores: 2, Dispatch: DispatchRSS, RSSPolicy: "spray"},
+		// RSS policy on an RTC pipeline.
+		{Switch: "vpp", Scenario: P2P, SUTCores: 4, Dispatch: DispatchRTC, RSSPolicy: RSSFlowHash},
+		// Round-robin cannot feed 4 cores from p2p's 2 single-queue ports.
+		{Switch: "vpp", Scenario: P2P, SUTCores: 4, Dispatch: DispatchRSS, RSSPolicy: RSSRoundRobin},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted", cfg)
+		}
+	}
+	good := []Config{
+		{Switch: "vpp", Scenario: P2P, SUTCores: 2},
+		{Switch: "vpp", Scenario: P2P, SUTCores: 4, Dispatch: DispatchRSS, RSSPolicy: RSSFlowHash},
+		{Switch: "vpp", Scenario: P2P, SUTCores: 2, Dispatch: DispatchRTC},
+		{Switch: "vpp", Scenario: Loopback, Chain: 3, SUTCores: 4, Dispatch: DispatchRSS},
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", cfg, err)
+		}
+	}
+}

@@ -74,6 +74,49 @@ func RenderFigure(w io.Writer, fig *Figure, compare bool) {
 	}
 }
 
+// RenderScalingFigure writes the scaling-curve family as one table per
+// (dispatch × frame size) group, columns = core counts, rows = switches.
+func RenderScalingFigure(w io.Writer, fig *ScalingFigure) {
+	fmt.Fprintln(w, "Scaling: bidirectional p2p throughput vs. SUT cores (Gbps)")
+	type groupKey struct {
+		dispatch string
+		frameLen int
+	}
+	groups := map[groupKey]map[string]ScalingCurve{}
+	var order []groupKey
+	for _, c := range fig.Curves {
+		k := groupKey{c.Dispatch, c.FrameLen}
+		if groups[k] == nil {
+			groups[k] = map[string]ScalingCurve{}
+			order = append(order, k)
+		}
+		groups[k][c.Switch] = c
+	}
+	for _, k := range order {
+		fmt.Fprintf(w, "\n  %s dispatch, %dB frames:\n", k.dispatch, k.frameLen)
+		fmt.Fprintf(w, "  %-10s", "switch")
+		for _, n := range ScalingCores {
+			fmt.Fprintf(w, " %6d-c", n)
+		}
+		fmt.Fprintln(w)
+		for _, name := range Switches {
+			c, ok := groups[k][name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s", name)
+			for _, pt := range c.Points {
+				if pt.Unsupported {
+					fmt.Fprintf(w, " %8s", "-")
+				} else {
+					fmt.Fprintf(w, " %8.2f", pt.Gbps)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
 // RenderFigure1 writes the scatter data of Fig. 1.
 func RenderFigure1(w io.Writer, pts []Figure1Point) {
 	fmt.Fprintln(w, "Figure 1: bidirectional p2p, 64B — throughput vs RTT at 0.95·R⁺")
@@ -204,6 +247,9 @@ func RenderResult(w io.Writer, res Result) {
 		fmt.Fprintf(&b, "; dir %.2f", d.Gbps)
 	}
 	fmt.Fprintf(&b, ") drops=%d sut-busy=%.0f%%", res.Drops, res.SUTBusyFrac*100)
+	if res.EffectiveCores > 0 {
+		fmt.Fprintf(&b, " cores=%d/%d(%s)", res.EffectiveCores, cfg.SUTCores, cfg.Dispatch)
+	}
 	if res.Latency.N > 0 {
 		fmt.Fprintf(&b, " rtt: %s", res.Latency)
 	}

@@ -95,6 +95,17 @@ func Run(cfg Config) (Result, error) {
 	if busy+idle > 0 {
 		res.SUTBusyFrac = float64(busy) / float64(busy+idle)
 	}
+	if cfg.SUTCores > 1 {
+		res.EffectiveCores = len(tb.sutPolls)
+		for i, c := range tb.sutPolls {
+			b, id := c.Busy-busy0[i], c.Idle-idle0[i]
+			cu := CoreUtil{Name: c.Name()}
+			if b+id > 0 {
+				cu.BusyFrac = float64(b) / float64(b+id)
+			}
+			res.Cores = append(res.Cores, cu)
+		}
+	}
 	// The measurement is collected; release the buffer high-water mark
 	// before the caller (often a many-cell campaign) moves on.
 	tb.releasePools()

@@ -35,12 +35,12 @@ func (SerialRunner) RunAll(specs []Config) []SpecOutcome {
 // content-addressed result caches key on.
 func (cfg Config) Canonical() Config { return cfg.withDefaults() }
 
-// firstErr returns the first non-ErrChainTooLong error in outs, if any.
-// ErrChainTooLong is not a failure: the suites render those cells as
+// firstErr returns the first hard error in outs, if any. ErrChainTooLong
+// and ErrNoMultiCore are not failures: the suites render those cells as
 // missing bars ("-"), matching the paper.
 func firstErr(outs []SpecOutcome) error {
 	for _, o := range outs {
-		if o.Err != nil && !errors.Is(o.Err, ErrChainTooLong) {
+		if o.Err != nil && !errors.Is(o.Err, ErrChainTooLong) && !errors.Is(o.Err, ErrNoMultiCore) {
 			return o.Err
 		}
 	}

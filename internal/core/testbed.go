@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cost"
 	"repro/internal/cpu"
+	"repro/internal/multicore"
 	"repro/internal/nic"
 	"repro/internal/pcap"
 	"repro/internal/pkt"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/switches/switchdef"
 	"repro/internal/tgen"
+	"repro/internal/topo"
 	"repro/internal/units"
 	"repro/internal/vhost"
 	"repro/internal/vm"
@@ -62,6 +64,8 @@ type testbed struct {
 	model *cost.Model
 
 	sw        switchdef.Switch
+	fleet     *multicore.Fleet // non-nil when SUTCores > 1 (then sw == fleet)
+	graph     *topo.Graph
 	sutPolls  []*cpu.PollCore
 	sutIRQ    *cpu.IRQCore
 	portCount int
@@ -137,25 +141,50 @@ func build(cfg Config) (*testbed, error) {
 	}
 	tb.hostPool = tb.newPool(bufSize)
 	tb.genPool = tb.newPool(bufSize)
-	sw, err := switchdef.New(cfg.Switch, switchdef.Env{
-		Model: tb.model,
-		RNG:   tb.rng,
-		Pool:  tb.hostPool,
-	})
-	if err != nil {
-		return nil, err
-	}
-	tb.sw = sw
 
-	// Interrupt-driven SUTs need their core before wiring (devices bind
-	// their IRQ lines to it); poll-mode cores are created after wiring,
-	// when the port count for RSS sharding is known.
-	if info.IOMode == switchdef.InterruptMode {
-		if cfg.SUTCores > 1 {
-			return nil, fmt.Errorf("core: multi-core is not supported for interrupt-driven %s", info.Display)
+	if cfg.SUTCores > 1 {
+		if info.IOMode == switchdef.InterruptMode {
+			return nil, fmt.Errorf("%w: interrupt-driven %s runs its data plane in one kernel context", ErrNoMultiCore, info.Display)
 		}
-		meter := cost.NewMeter(tb.model, tb.rng.Derive("sut"))
-		tb.sutIRQ = cpu.NewIRQCore(tb.sched, "sut", meter, sw.Poll)
+		// Multi-core: one private switch instance per worker core behind
+		// the fleet facade, so wiring fans out to every instance.
+		fleet, err := multicore.New(multicore.Options{
+			Cores:    cfg.SUTCores,
+			Dispatch: cfg.Dispatch,
+			Policy:   cfg.RSSPolicy,
+			NUMA:     cost.DefaultNUMA(),
+			QueueCap: tb.nicRing(),
+			NewInstance: func(k int) (switchdef.Switch, error) {
+				return switchdef.New(cfg.Switch, switchdef.Env{
+					Model: tb.model,
+					RNG:   tb.rng.Derive(fmt.Sprintf("mc-inst%d", k)),
+					Pool:  tb.hostPool,
+				})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.sw = fleet
+		tb.fleet = fleet
+		tb.dropFns = append(tb.dropFns, fleet.Drops)
+	} else {
+		sw, err := switchdef.New(cfg.Switch, switchdef.Env{
+			Model: tb.model,
+			RNG:   tb.rng,
+			Pool:  tb.hostPool,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.sw = sw
+		// Interrupt-driven SUTs need their core before wiring (devices
+		// bind their IRQ lines to it); poll-mode cores are created after
+		// wiring.
+		if info.IOMode == switchdef.InterruptMode {
+			meter := cost.NewMeter(tb.model, tb.rng.Derive("sut"))
+			tb.sutIRQ = cpu.NewIRQCore(tb.sched, "sut", meter, sw.Poll)
+		}
 	}
 
 	if err := tb.wire(); err != nil {
@@ -163,23 +192,15 @@ func build(cfg Config) (*testbed, error) {
 	}
 
 	if info.IOMode == switchdef.PollMode {
-		if cfg.SUTCores == 1 {
+		if tb.fleet == nil {
 			meter := cost.NewMeter(tb.model, tb.rng.Derive("sut"))
-			c := cpu.NewPollCore(tb.sched, "sut", meter, sw.Poll)
+			c := cpu.NewPollCore(tb.sched, "sut", meter, tb.sw.Poll)
 			c.Start(0)
 			tb.sutPolls = append(tb.sutPolls, c)
 		} else {
-			mc, ok := sw.(switchdef.MultiCore)
-			if !ok {
-				return nil, fmt.Errorf("core: %s does not support multi-core operation", info.Display)
-			}
-			for k, ports := range switchdef.ShardPorts(tb.portCount, cfg.SUTCores) {
-				shard := ports
-				name := fmt.Sprintf("sut-core%d", k)
-				meter := cost.NewMeter(tb.model, tb.rng.Derive(name))
-				c := cpu.NewPollCore(tb.sched, name, meter, func(now units.Time, m *cost.Meter) bool {
-					return mc.PollShard(now, m, shard)
-				})
+			for _, cp := range tb.fleet.Polls() {
+				meter := cost.NewMeter(tb.model, tb.rng.Derive(cp.Name))
+				c := cpu.NewPollCore(tb.sched, cp.Name, meter, cp.Fn)
 				c.Start(0)
 				tb.sutPolls = append(tb.sutPolls, c)
 			}
@@ -226,8 +247,18 @@ func (tb *testbed) addPhysPair(name string) (*sutPort, *nic.Port) {
 		func() int64 { return sutNIC.Stats.RxDropsFull + sutNIC.Stats.TxDropsFull },
 		func() int64 { return genNIC.Stats.RxDropsFull + genNIC.Stats.TxDropsFull },
 	)
+	queues := 0
+	if tb.graph != nil {
+		if n := tb.graph.Node(name); n != nil {
+			queues = n.Queues
+		}
+	}
 	sp := &sutPort{
-		dev:     &switchdef.PhysPort{Port: sutNIC, Unpriced: tb.info.IOMode == switchdef.InterruptMode},
+		dev: &switchdef.PhysPort{
+			Port:     sutNIC,
+			Unpriced: tb.info.IOMode == switchdef.InterruptMode,
+			Queues:   queues,
+		},
 		nicPort: sutNIC,
 	}
 	return sp, genNIC

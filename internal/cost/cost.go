@@ -56,6 +56,23 @@ type Model struct {
 	// Interrupt and Syscall price netmap-style kernel I/O (VALE).
 	Interrupt units.Cycles
 	Syscall   units.Cycles
+
+	// Multi-core dispatch prices (internal/multicore). None of these is
+	// reachable on a single-core run, so they live outside the
+	// ModelVersion calibration envelope.
+	//
+	// HandoffPush/HandoffPop price one packet crossing an inter-core
+	// handoff ring (RTC pipeline mode): the producer's store + doorbell
+	// share, and the consumer's cache-line pull of descriptor + header.
+	HandoffPush, HandoffPop units.Cycles
+	// SteerPerPkt is the RX/steering core's per-packet share of hashing
+	// a frame and picking its worker ring.
+	SteerPerPkt units.Cycles
+	// RemoteTouch + RemotePerByteMilli/1000·len surcharges every frame a
+	// core touches on the far socket (device rings and packet memory are
+	// homed on socket 0 — see numa.go).
+	RemoteTouch        units.Cycles
+	RemotePerByteMilli units.Cycles // milli-cycles per byte
 }
 
 // Default returns the testbed's machine model: a 2.6 GHz Haswell-class core
@@ -76,6 +93,12 @@ func Default() *Model {
 		HashLookup:       28,
 		Interrupt:        2600, // ~1 us wakeup path
 		Syscall:          1300, // ~0.5 us
+
+		HandoffPush:        40, // SPSC enqueue + line ownership transfer
+		HandoffPop:         45, // dequeue + remote-dirty line pull
+		SteerPerPkt:        25, // RSS hash over the 5-tuple + ring pick
+		RemoteTouch:        60, // cross-socket descriptor/header fill
+		RemotePerByteMilli: 80, // 0.08 cycles/B of remote payload traffic
 	}
 }
 

@@ -1,0 +1,44 @@
+package cost
+
+import "repro/internal/units"
+
+// NUMA-ish locality model for multi-core runs. The testbed mirrors the
+// paper's dual-socket server (Fig. 3): the SUT's NICs and packet memory
+// are homed on socket 0, and a data plane core on the remote socket pays
+// a surcharge for every frame it touches through the interconnect
+// (QPI-era remote cache-line fills). The model deliberately stays at the
+// gem5-kernel-bypass level of abstraction — charge the architectural
+// cost per touched frame, do not simulate the cache hierarchy.
+//
+// Single-core runs never consult this file: core 0 is on socket 0, where
+// every device lives, so no surcharge path is reachable and the
+// calibrated single-core outputs (ModelVersion "conext19-cal1") are
+// untouched.
+
+// NUMA maps simulated cores onto sockets.
+type NUMA struct {
+	// CoresPerSocket is the socket stride: core k lives on socket
+	// k/CoresPerSocket. The testbed's machine has two 8-core sockets.
+	CoresPerSocket int
+}
+
+// DefaultNUMA returns the testbed topology: two sockets of eight cores,
+// devices and packet memory homed on socket 0.
+func DefaultNUMA() NUMA { return NUMA{CoresPerSocket: 8} }
+
+// SocketOf returns the socket housing core k.
+func (n NUMA) SocketOf(k int) int {
+	if n.CoresPerSocket <= 0 {
+		return 0
+	}
+	return k / n.CoresPerSocket
+}
+
+// Remote reports whether core k is on a different socket than home.
+func (n NUMA) Remote(k, home int) bool { return n.SocketOf(k) != home }
+
+// RemoteCost returns the locality surcharge for one frame of len bytes
+// touched across the socket interconnect.
+func (m *Model) RemoteCost(frameLen int) units.Cycles {
+	return m.RemoteTouch + m.RemotePerByteMilli*units.Cycles(frameLen)/1000
+}

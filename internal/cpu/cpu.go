@@ -20,6 +20,7 @@ type PollFunc func(now units.Time, m *cost.Meter) bool
 // PollCore is a busy-waiting core (DPDK poll-mode model).
 type PollCore struct {
 	Meter *cost.Meter
+	name  string
 	poll  PollFunc
 	task  *sim.Task
 	sched *sim.Scheduler
@@ -37,10 +38,14 @@ type PollCore struct {
 // NewPollCore registers a busy-poll core with the scheduler. It does not
 // start running until Start is called.
 func NewPollCore(s *sim.Scheduler, name string, m *cost.Meter, poll PollFunc) *PollCore {
-	c := &PollCore{Meter: m, poll: poll, sched: s}
+	c := &PollCore{Meter: m, name: name, poll: poll, sched: s}
 	c.task = s.Register(name, c)
 	return c
 }
+
+// Name returns the core's scheduler name ("sut", "sut-core2", "sut-tx",
+// ...); multi-core results report per-core utilization under it.
+func (c *PollCore) Name() string { return c.name }
 
 // Start schedules the first poll at time at.
 func (c *PollCore) Start(at units.Time) { c.sched.WakeAt(c.task, at) }

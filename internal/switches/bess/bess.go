@@ -193,6 +193,8 @@ func (sw *Switch) CrossConnect(a, b int) error {
 }
 
 // Poll implements switchdef.Switch: one full turn of the scheduler wheel.
+// Multi-core runs give each worker its own Switch instance (BESS's
+// per-worker scheduler wheels) — see internal/multicore.
 func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 	did := false
 	for range sw.wheel {
@@ -200,27 +202,6 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 		sw.wheelAt = (sw.wheelAt + 1) % len(sw.wheel)
 		if t.run(sw, now, m) {
 			did = true
-		}
-	}
-	return did
-}
-
-// PollShard implements switchdef.MultiCore: each worker runs its share of
-// the schedulable tasks (weights respected within the shard).
-func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
-	if rxPorts == nil {
-		return sw.Poll(now, m)
-	}
-	did := false
-	for _, ti := range rxPorts {
-		if ti >= len(sw.tasks) {
-			continue
-		}
-		t := sw.tasks[ti]
-		for w := 0; w < t.weight; w++ {
-			if t.run(sw, now, m) {
-				did = true
-			}
 		}
 	}
 	return did

@@ -256,20 +256,13 @@ func (sw *Switch) build(class string, args []string) (Element, error) {
 func (sw *Switch) Element(name string) Element { return sw.elems[name] }
 
 // Poll implements switchdef.Switch: pull one batch from every source, then
-// drain queues (full-push run-to-completion).
+// drain queues (full-push run-to-completion). Multi-core runs give each
+// core its own Switch instance (private classifier/element state) — see
+// internal/multicore.
 func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
-	return sw.PollShard(now, m, nil)
-}
-
-// PollShard implements switchdef.MultiCore: one core's input sources
-// (indices into the FromDPDKDevice elements, in configuration order).
-func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 	burst := &sw.rxScratch
 	did := false
-	for _, si := range switchdef.Shard(rxPorts, len(sw.sources)) {
-		if si >= len(sw.sources) {
-			continue
-		}
+	for si := range sw.sources {
 		src := sw.sources[si]
 		n := src.dev.RxBurst(now, m, burst[:])
 		if n == 0 {
@@ -292,18 +285,12 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 			sw.Dropped += int64(n)
 		}
 	}
-	for _, ti := range switchdef.Shard(rxPorts, len(sw.toDevs)) {
-		if ti >= len(sw.toDevs) {
-			continue
-		}
+	for ti := range sw.toDevs {
 		if sw.toDevs[ti].flushStale(sw, now, m) {
 			did = true
 		}
 	}
-	for _, qi := range switchdef.Shard(rxPorts, len(sw.queues)) {
-		if qi >= len(sw.queues) {
-			continue
-		}
+	for qi := range sw.queues {
 		q := sw.queues[qi]
 		if len(q.buf) == 0 {
 			continue

@@ -210,8 +210,6 @@ func (sw *Switch) CrossConnect(a, b int) error {
 	return sw.AddFlow(fmt.Sprintf("in_port=%d,actions=output:%d", b, a))
 }
 
-func shard(rxPorts []int, n int) []int { return switchdef.Shard(rxPorts, n) }
-
 // classify finds the rule for a key, exercising EMC → megaflow → slow path,
 // charging lookup costs as it goes.
 func (sw *Switch) classify(now units.Time, m *cost.Meter, key FlowKey) *Rule {
@@ -303,13 +301,11 @@ func (sw *Switch) installEMC(full packedKey, r *Rule) {
 	sw.emc[full] = emcEntry{key: full, rule: r}
 }
 
-// Poll implements switchdef.Switch.
+// Poll implements switchdef.Switch: one PMD thread iteration over every
+// attached port. Multi-core runs give each core its own Switch instance
+// (private EMC/megaflow/table state) over per-core port views — see
+// internal/multicore.
 func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
-	return sw.PollShard(now, m, nil)
-}
-
-// PollShard implements switchdef.MultiCore (one PMD thread's ports).
-func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 	if sw.nextRev == 0 {
 		sw.nextRev = now + revalInterval
 	}
@@ -319,7 +315,7 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 	}
 	burst := &sw.rxScratch
 	did := false
-	for _, i := range shard(rxPorts, len(sw.ports)) {
+	for i := range sw.ports {
 		p := sw.ports[i]
 		n := p.RxBurst(now, m, burst[:])
 		if n == 0 {
@@ -342,7 +338,7 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 			sw.apply(now, m, b, i, key, rule)
 		}
 	}
-	for _, i := range shard(rxPorts, len(sw.ports)) {
+	for i := range sw.ports {
 		stage := sw.txStage[i]
 		if len(stage) == 0 {
 			continue

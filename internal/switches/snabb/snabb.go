@@ -183,30 +183,19 @@ var gcMod = cost.Modulation{
 	LowFactor: 0.98, LowDur: units.Millisecond,
 }
 
-// Poll implements switchdef.Switch: one engine breath.
+// Poll implements switchdef.Switch: one engine breath over every app.
+// Multi-core runs give each core its own Switch instance — Snabb's real
+// scaling model, one engine process per core — see internal/multicore.
 func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
-	return sw.PollShard(now, m, nil)
-}
-
-// PollShard implements switchdef.MultiCore: one engine process running a
-// breath over its share of the apps (Snabb scales by running multiple
-// engine processes).
-func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 	sw.now = now
 	m.Charge(breathFixed)
-	apps := make([]App, 0, len(sw.apps))
-	for _, i := range switchdef.Shard(rxPorts, len(sw.apps)) {
-		if i < len(sw.apps) {
-			apps = append(apps, sw.apps[i])
-		}
-	}
 	worked := 0
-	for _, a := range apps {
+	for _, a := range sw.apps {
 		if p, ok := a.(Puller); ok {
 			worked += p.Pull(sw, now, m)
 		}
 	}
-	for _, a := range apps {
+	for _, a := range sw.apps {
 		if p, ok := a.(Pusher); ok {
 			worked += p.Push(sw, now, m)
 		}

@@ -1,26 +1,20 @@
 package switchdef
 
-// Shard returns the rx-port subset for one core: the given explicit list,
-// or every index below n when the list is nil (the single-core case).
-func Shard(rxPorts []int, n int) []int {
-	if rxPorts != nil {
-		return rxPorts
-	}
-	all := make([]int, n)
-	for i := range all {
-		all[i] = i
-	}
-	return all
-}
-
-// ShardPorts splits n ports across k cores round-robin (RSS-style).
+// ShardPorts splits n ports across k cores round-robin (RSS-style),
+// clamping the shard count to min(k, n): with more cores than ports the
+// extras would own nothing, and handing an empty shard to a poll core
+// leaves it busy-spinning forever, polluting the Busy/Idle utilization
+// stats. Callers size their core fleet from len(result) — the effective
+// core count.
 func ShardPorts(n, k int) [][]int {
 	if k < 1 {
 		k = 1
 	}
+	if n > 0 && k > n {
+		k = n
+	}
 	out := make([][]int, k)
 	for i := range out {
-		// Non-nil even when empty: nil means "all ports" to PollShard.
 		out[i] = []int{}
 	}
 	for i := 0; i < n; i++ {

@@ -2,21 +2,6 @@ package switchdef
 
 import "testing"
 
-func TestShardNilMeansAll(t *testing.T) {
-	got := Shard(nil, 3)
-	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
-		t.Fatalf("shard = %v", got)
-	}
-	explicit := Shard([]int{5, 7}, 3)
-	if len(explicit) != 2 || explicit[0] != 5 {
-		t.Fatalf("explicit = %v", explicit)
-	}
-	// Crucially: an explicit empty shard stays empty (an idle core).
-	if got := Shard([]int{}, 3); len(got) != 0 {
-		t.Fatalf("empty shard expanded: %v", got)
-	}
-}
-
 func TestShardPortsRoundRobin(t *testing.T) {
 	shards := ShardPorts(5, 2)
 	if len(shards) != 2 {
@@ -31,17 +16,25 @@ func TestShardPortsRoundRobin(t *testing.T) {
 }
 
 func TestShardPortsMoreCoresThanPorts(t *testing.T) {
+	// k > n clamps to n shards: a shard-less core would busy-spin
+	// forever and skew Busy/Idle utilization stats.
 	shards := ShardPorts(2, 4)
+	if len(shards) != 2 {
+		t.Fatalf("effective cores = %d, want 2 (clamped): %v", len(shards), shards)
+	}
+	for i, s := range shards {
+		if len(s) != 1 || s[0] != i {
+			t.Fatalf("shard %d = %v", i, s)
+		}
+	}
+}
+
+func TestShardPortsNoPorts(t *testing.T) {
+	// The clamp only engages when there are ports to own; a port-less
+	// call keeps the requested shard count (degenerate, never polled).
+	shards := ShardPorts(0, 4)
 	if len(shards) != 4 {
 		t.Fatalf("shards = %v", shards)
-	}
-	for i := 2; i < 4; i++ {
-		if shards[i] == nil {
-			t.Fatalf("shard %d is nil — would mean 'all ports' to PollShard", i)
-		}
-		if len(shards[i]) != 0 {
-			t.Fatalf("shard %d = %v", i, shards[i])
-		}
 	}
 }
 

@@ -121,14 +121,6 @@ type Switch interface {
 	Poll(now units.Time, m *cost.Meter) bool
 }
 
-// MultiCore is implemented by switches whose data plane can shard its
-// receive ports across several cores (the paper's "planned future work":
-// multi-core solutions). PollShard behaves like Poll restricted to the
-// given ingress ports; the testbed assigns port shards to cores RSS-style.
-type MultiCore interface {
-	PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool
-}
-
 // Env is what a switch factory needs from the testbed.
 type Env struct {
 	Model *cost.Model

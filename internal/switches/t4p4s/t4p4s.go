@@ -212,8 +212,6 @@ func (sw *Switch) AddPort(p switchdef.DevPort) int {
 	return len(sw.ports) - 1
 }
 
-func shard(rxPorts []int, n int) []int { return switchdef.Shard(rxPorts, n) }
-
 // Tables returns the program's tables.
 func (sw *Switch) Tables() []*Table { return sw.tables }
 
@@ -236,16 +234,13 @@ func (sw *Switch) CrossConnect(a, b int) error {
 	return sw.AddL2Entry(switchdef.PortMAC(a), a)
 }
 
-// Poll implements switchdef.Switch.
+// Poll implements switchdef.Switch: one lcore iteration over every
+// attached port. Multi-core runs give each lcore its own Switch instance
+// (private match/action tables) — see internal/multicore.
 func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
-	return sw.PollShard(now, m, nil)
-}
-
-// PollShard implements switchdef.MultiCore (one lcore's ports).
-func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 	burst := &sw.rxScratch
 	did := false
-	for _, i := range shard(rxPorts, len(sw.ports)) {
+	for i := range sw.ports {
 		p := sw.ports[i]
 		n := p.RxBurst(now, m, burst[:])
 		if n == 0 {
@@ -262,7 +257,7 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 			sw.process(now, m, i, b)
 		}
 	}
-	for _, i := range shard(rxPorts, len(sw.ports)) {
+	for i := range sw.ports {
 		stage := sw.txStage[i]
 		if len(stage) == 0 {
 			continue

@@ -185,11 +185,6 @@ func (sw *Switch) CLI(cmd string) error {
 	return sw.ipCLI(f)
 }
 
-// shard resolves the ingress-port subset for one core.
-func (sw *Switch) shard(rxPorts []int) []int {
-	return switchdef.Shard(rxPorts, len(sw.ports))
-}
-
 // getVec returns a recycled (empty) vector for a dispatch frame.
 func (sw *Switch) getVec() []*pkt.Buf {
 	if n := len(sw.vecFree); n > 0 {
@@ -231,18 +226,14 @@ func (sw *Switch) enqueue1(node string, ctx int, b *pkt.Buf) {
 	sw.pending[k] = append(vec, b)
 }
 
-// Poll implements switchdef.Switch: one graph dispatch frame.
+// Poll implements switchdef.Switch: one graph dispatch frame over every
+// attached port. Multi-core runs give each worker core its own Switch
+// instance with private vector-graph scratch — see internal/multicore.
 func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
-	return sw.PollShard(now, m, nil)
-}
-
-// PollShard implements switchdef.MultiCore: one dispatch frame restricted
-// to the given ingress ports (nil = all).
-func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 	// dpdk-input: pull one vector per port.
 	burst := &sw.rxScratch
 	got := false
-	for _, i := range sw.shard(rxPorts) {
+	for i := range sw.ports {
 		p := sw.ports[i]
 		n := p.RxBurst(now, m, burst[:])
 		if n == 0 {
@@ -283,9 +274,8 @@ func (sw *Switch) PollShard(now units.Time, m *cost.Meter, rxPorts []int) bool {
 		}
 		sw.spareKeys = keys[:0]
 	}
-	// Flush staged tx (each core owns the egress stages of its port
-	// shard, so idle cores do not steal work).
-	for _, i := range sw.shard(rxPorts) {
+	// Flush staged tx.
+	for i := range sw.ports {
 		stage := sw.txStage[i]
 		if len(stage) == 0 {
 			continue

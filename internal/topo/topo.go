@@ -107,6 +107,11 @@ type Node struct {
 	// Probes makes a generator emit latency probes when the run
 	// requests them.
 	Probes bool `json:"probes,omitempty"`
+
+	// Queues declares a phys pair's hardware receive queue count
+	// (0 or 1 = single queue). Multi-core RSS runs spread the port's
+	// flows across its queues; single-core runs ignore it.
+	Queues int `json:"queues,omitempty"`
 }
 
 // Edge is one typed topology edge between two named nodes.
@@ -125,6 +130,15 @@ type Graph struct {
 	Name  string `json:"name,omitempty"`
 	Nodes []Node `json:"nodes"`
 	Edges []Edge `json:"edges"`
+
+	// SUTCores, Dispatch, and RSSPolicy optionally carry the multi-core
+	// dimension with the topology: the switch data plane's core count,
+	// its dispatch mode ("rss" or "rtc"), and the rss queue-assignment
+	// policy ("roundrobin" or "flowhash"). Zero values defer to the run
+	// configuration, which also wins on conflict.
+	SUTCores  int    `json:"sut_cores,omitempty"`
+	Dispatch  string `json:"dispatch,omitempty"`
+	RSSPolicy string `json:"rss_policy,omitempty"`
 }
 
 // Parse decodes a JSON topology graph and validates it.
@@ -138,6 +152,9 @@ func Parse(data []byte) (*Graph, error) {
 	}
 	return &g, nil
 }
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(name string) *Node { return g.node(name) }
 
 // node returns the named node, or nil.
 func (g *Graph) node(name string) *Node {

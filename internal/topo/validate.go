@@ -143,6 +143,12 @@ func (g *Graph) resolve() (*resolved, error) {
 	generators, measured := 0, 0
 	for i := range r.nodes {
 		n := &r.nodes[i]
+		if n.Queues < 0 {
+			fail("node %q declares %d receive queues", n.Name, n.Queues)
+		}
+		if n.Queues > 0 && n.Kind != KindPhysPair {
+			fail("node %q declares receive queues, which only phys pairs carry", n.Name)
+		}
 		switch n.Kind {
 		case KindGenerator:
 			generators++
@@ -176,6 +182,19 @@ func (g *Graph) resolve() (*resolved, error) {
 				fail("port node %q carries endpoint attachment fields", n.Name)
 			}
 		}
+	}
+	if g.SUTCores < 0 {
+		fail("graph declares %d SUT cores", g.SUTCores)
+	}
+	switch g.Dispatch {
+	case "", "rss", "rtc":
+	default:
+		fail("graph has unknown dispatch mode %q (want \"rss\" or \"rtc\")", g.Dispatch)
+	}
+	switch g.RSSPolicy {
+	case "", "roundrobin", "flowhash":
+	default:
+		fail("graph has unknown rss policy %q (want \"roundrobin\" or \"flowhash\")", g.RSSPolicy)
 	}
 	if len(errs) == 0 && generators == 0 {
 		fail("graph has no traffic generator")

@@ -89,6 +89,22 @@ const (
 // incompatibility).
 var ErrChainTooLong = core.ErrChainTooLong
 
+// ErrNoMultiCore reports a switch that cannot spread its data plane over
+// multiple cores (VALE's interrupt-driven kernel context).
+var ErrNoMultiCore = core.ErrNoMultiCore
+
+// Multi-core dispatch modes and RSS steering policies for Config.Dispatch
+// and Config.RSSPolicy (see internal/multicore).
+const (
+	DispatchRSS   = core.DispatchRSS
+	DispatchRTC   = core.DispatchRTC
+	RSSRoundRobin = core.RSSRoundRobin
+	RSSFlowHash   = core.RSSFlowHash
+)
+
+// CoreUtil is one SUT core's busy fraction in a multi-core Result.
+type CoreUtil = core.CoreUtil
+
 // Run executes one measurement.
 func Run(cfg Config) (Result, error) { return core.Run(cfg) }
 
@@ -152,6 +168,12 @@ type (
 	Table3Cell = core.Table3Cell
 	// Table4Row is one switch's v2v RTT (Table 4).
 	Table4Row = core.Table4Row
+	// ScalingFigure is the multi-core scaling-curve family.
+	ScalingFigure = core.ScalingFigure
+	// ScalingCurve is one line of the scaling figure.
+	ScalingCurve = core.ScalingCurve
+	// ScalingPoint is one (switch, dispatch, size, cores) measurement.
+	ScalingPoint = core.ScalingPoint
 )
 
 // Run profiles.
@@ -185,6 +207,14 @@ func Table3(o RunOpts) ([]Table3Cell, error) { return core.Table3(o) }
 
 // Table4 reproduces the v2v latency table.
 func Table4(o RunOpts) ([]Table4Row, error) { return core.Table4(o) }
+
+// FigureScaling reproduces the multi-core scaling curves (throughput vs.
+// SUT cores, RSS and RTC dispatch, 64B and 1500B frames).
+func FigureScaling(o RunOpts) (*ScalingFigure, error) { return core.FigureScaling(o) }
+
+// ScalingSpecs returns the flat measurement grid behind the scaling
+// figure.
+func ScalingSpecs(o RunOpts) []Config { return core.ScalingSpecs(o) }
 
 // Campaign orchestration: every figure and table decomposes into
 // independent deterministic simulations, and a Runner executes such a
@@ -278,6 +308,11 @@ func Table3On(r Runner, o RunOpts) ([]Table3Cell, error) { return core.Table3On(
 // Table4On is Table4 on an explicit runner.
 func Table4On(r Runner, o RunOpts) ([]Table4Row, error) { return core.Table4On(r, o) }
 
+// FigureScalingOn is FigureScaling on an explicit runner.
+func FigureScalingOn(r Runner, o RunOpts) (*ScalingFigure, error) {
+	return core.FigureScalingOn(r, o)
+}
+
 // Renderers (text tables; also the source of EXPERIMENTS.md).
 func RenderFigure(w io.Writer, fig *Figure, compare bool) { core.RenderFigure(w, fig, compare) }
 func RenderFigure1(w io.Writer, pts []Figure1Point)       { core.RenderFigure1(w, pts) }
@@ -289,12 +324,14 @@ func RenderTable3(w io.Writer, cells []Table3Cell, compare bool) {
 func RenderTable4(w io.Writer, rows []Table4Row, compare bool) { core.RenderTable4(w, rows, compare) }
 func RenderTable5(w io.Writer)                                 { core.RenderTable5(w) }
 func RenderResult(w io.Writer, res Result)                     { core.RenderResult(w, res) }
+func RenderScalingFigure(w io.Writer, fig *ScalingFigure)      { core.RenderScalingFigure(w, fig) }
 
 // CSV exports, for plotting with external tools.
 func WriteFigureCSV(w io.Writer, fig *Figure) error         { return core.WriteFigureCSV(w, fig) }
 func WriteFigure1CSV(w io.Writer, pts []Figure1Point) error { return core.WriteFigure1CSV(w, pts) }
 func WriteTable3CSV(w io.Writer, cells []Table3Cell) error  { return core.WriteTable3CSV(w, cells) }
 func WriteWindowsCSV(w io.Writer, pts []WindowPoint) error  { return core.WriteWindowsCSV(w, pts) }
+func WriteScalingCSV(w io.Writer, fig *ScalingFigure) error { return core.WriteScalingCSV(w, fig) }
 
 // Extension point: implement and register your own switch data plane, then
 // benchmark it with the same methodology (see examples/customswitch).
