@@ -112,6 +112,7 @@ func runCmd(args []string) error {
 	fs.StringVar(&cfg.Dispatch, "dispatch", "", "multi-core dispatch mode: rss or rtc (default rss when -cores > 1)")
 	fs.StringVar(&cfg.RSSPolicy, "rss-policy", "", "rss steering: roundrobin or flowhash (default roundrobin)")
 	fs.IntVar(&cfg.Flows, "flows", 1, "number of synthetic flows")
+	fs.IntVar(&cfg.SimWorkers, "sim-workers", 0, "goroutines per simulation (conservative parallel DES; 0/1 = sequential)")
 	fs.BoolVar(&cfg.Containers, "containers", false, "host VNFs in containers instead of VMs")
 	fs.StringVar(&cfg.CapturePath, "pcap", "", "dump delivered frames to this pcap file")
 	fs.BoolVar(&cfg.IMIX, "imix", false, "classic IMIX frame-size mix instead of -size")
@@ -174,11 +175,12 @@ func rplusCmd(args []string) error {
 	return nil
 }
 
-func suiteFlags(fs *flag.FlagSet) (*bool, *bool, *int, *profiler) {
+func suiteFlags(fs *flag.FlagSet) (*bool, *bool, *int, *int, *profiler) {
 	quick := fs.Bool("quick", false, "short simulation windows")
 	compare := fs.Bool("compare", false, "show the paper's values alongside")
 	workers := fs.Int("workers", 0, "worker pool size (0 = all cores, 1 = serial)")
-	return quick, compare, workers, addProfileFlags(fs)
+	simWorkers := fs.Int("sim-workers", 0, "goroutines per simulation (conservative parallel DES; 0/1 = sequential)")
+	return quick, compare, workers, simWorkers, addProfileFlags(fs)
 }
 
 // profiled runs fn under the requested CPU/heap profiles.
@@ -200,13 +202,20 @@ func opts(quick bool) swbench.RunOpts {
 	return swbench.Full
 }
 
+// suiteOpts merges the shared suite flags into RunOpts.
+func suiteOpts(quick bool, simWorkers int) swbench.RunOpts {
+	o := opts(quick)
+	o.SimWorkers = simWorkers
+	return o
+}
+
 func figureCmd(args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("figure needs an id: 1, 4a, 4b, 4c, 5, 6, scaling")
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
-	quick, compare, workers, prof := suiteFlags(fs)
+	quick, compare, workers, simWorkers, prof := suiteFlags(fs)
 	csvPath := fs.String("csv", "", "also write the figure data as CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
@@ -217,9 +226,9 @@ func figureCmd(args []string) error {
 	}
 	return profiled(prof, func() error {
 		if *csvPath != "" {
-			return figureCSV(r, id, opts(*quick), *csvPath)
+			return figureCSV(r, id, suiteOpts(*quick, *simWorkers), *csvPath)
 		}
-		return renderFigure(r, id, opts(*quick), *compare)
+		return renderFigure(r, id, suiteOpts(*quick, *simWorkers), *compare)
 	})
 }
 
@@ -340,7 +349,7 @@ func tableCmd(args []string) error {
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
-	quick, compare, workers, prof := suiteFlags(fs)
+	quick, compare, workers, simWorkers, prof := suiteFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
@@ -349,7 +358,7 @@ func tableCmd(args []string) error {
 		return err
 	}
 	return profiled(prof, func() error {
-		return renderTable(r, id, opts(*quick), *compare)
+		return renderTable(r, id, suiteOpts(*quick, *simWorkers), *compare)
 	})
 }
 
@@ -381,7 +390,7 @@ func renderTable(r swbench.Runner, id string, o swbench.RunOpts, compare bool) e
 
 func allCmd(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
-	quick, compare, workers, prof := suiteFlags(fs)
+	quick, compare, workers, simWorkers, prof := suiteFlags(fs)
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory")
 	progress := fs.Bool("progress", false, "stream per-cell progress to stderr")
 	if err := fs.Parse(args); err != nil {
@@ -391,7 +400,7 @@ func allCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := opts(*quick)
+	o := suiteOpts(*quick, *simWorkers)
 	return profiled(prof, func() error {
 		for _, id := range []string{"1", "2"} {
 			if err := renderTable(r, id, o, *compare); err != nil {

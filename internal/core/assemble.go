@@ -15,12 +15,9 @@ import (
 // the SUT (and everything it drives) on NUMA node 0, MoonGen TX/RX on
 // node 1 behind the physical wires.
 func (tb *testbed) wire() error {
-	g, err := tb.cfg.Graph()
-	if err != nil {
-		return err
-	}
-	tb.graph = g
-	return topo.Compile(g, newAssembler(tb))
+	// build() already compiled and stored the graph (it needs it for
+	// partition discovery before any endpoint is registered).
+	return topo.Compile(tb.graph, newAssembler(tb))
 }
 
 // asmPort is what the assembler remembers about one attached SUT port.

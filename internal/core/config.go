@@ -125,6 +125,17 @@ type Config struct {
 	// CapturePath, when set, dumps every frame delivered to the first
 	// measurement endpoint into a pcap file (tcpdump/Wireshark-readable).
 	CapturePath string
+
+	// SimWorkers runs the simulation itself on up to this many goroutines
+	// using conservative parallel DES: the actor graph is partitioned at
+	// wire boundaries (internal/topo.Partition) and each partition
+	// advances within its lookahead window (internal/sim
+	// PartitionedScheduler). 0 or 1 selects the sequential engine.
+	// Outputs are bit-identical either way, so the field is excluded
+	// from JSON: golden Result digests and campaign cache keys must not
+	// depend on which engine produced them (a cached sequential result
+	// is equally valid for a parallel request).
+	SimWorkers int `json:"-"`
 }
 
 // Dispatch modes and RSS policies (see internal/multicore).
@@ -200,6 +211,9 @@ func (cfg Config) Validate() error {
 	}
 	if c.SUTCores < 1 {
 		errs = append(errs, errors.New("core: SUTCores must be at least 1"))
+	}
+	if c.SimWorkers < 0 {
+		errs = append(errs, fmt.Errorf("core: SimWorkers must be non-negative (got %d)", c.SimWorkers))
 	}
 	switch c.Dispatch {
 	case "":
@@ -333,8 +347,15 @@ type Result struct {
 	// for during the window — the per-crossing "vhost tax" that separates
 	// p2v/v2v/loopback from p2p.
 	HostCopies int64
-	// Steps is the scheduler step count (determinism fingerprint).
+	// Steps is the scheduler step count (determinism fingerprint). It is
+	// engine-independent: the partitioned engine dispatches the same
+	// events and sums per-partition counts.
 	Steps uint64
+	// SimPartitions is how many partitions the parallel engine ran on;
+	// 0 means the sequential engine (also what a JSON round trip yields:
+	// the field is diagnostics only, excluded from JSON for the same
+	// reason Config.SimWorkers is — digests must not see the engine).
+	SimPartitions int `json:"-"`
 }
 
 // CoreUtil is one SUT core's utilization over the measurement window.

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// The tests in this file pin the conservative parallel engine
+// (Config.SimWorkers > 1) to the sequential one: same Result JSON bit for
+// bit, same Steps, on every scenario family that exercises a distinct
+// cut shape — and directly against the pinned golden digests, proving
+// that the engine choice is invisible to every digested output.
+
+// runBoth runs cfg under the sequential engine and under SimWorkers=4 and
+// returns both results.
+func runBoth(t *testing.T, cfg Config) (seq, par Result) {
+	t.Helper()
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("sequential Run(%+v): %v", cfg, err)
+	}
+	cfg.SimWorkers = 4
+	par, err = Run(cfg)
+	if err != nil {
+		t.Fatalf("parallel Run(%+v): %v", cfg, err)
+	}
+	return seq, par
+}
+
+// TestParallelMatchesSequential: for every cut shape — unidirectional and
+// bidirectional phys pairs, guest paths behind one pair, loopback's two
+// pairs, multi-core fleets behind a demux, and the no-pair fallback — the
+// partitioned engine reproduces the sequential Result digest and step
+// count exactly.
+func TestParallelMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name  string
+		cfg   Config
+		parts int // expected Result.SimPartitions under SimWorkers=4
+	}{
+		{"p2p", Config{Switch: "vpp", Scenario: P2P, FrameLen: 64}, 3},
+		{"p2p-bidir-probed", Config{Switch: "vpp", Scenario: P2P, FrameLen: 64, Bidir: true,
+			ProbeEvery: 100 * units.Microsecond}, 3},
+		{"p2v", Config{Switch: "vpp", Scenario: P2V, FrameLen: 64}, 2},
+		{"v2v-fallback", Config{Switch: "vpp", Scenario: V2V, FrameLen: 64}, 0},
+		{"loopback-c4", Config{Switch: "vpp", Scenario: Loopback, Chain: 4, FrameLen: 64}, 3},
+		{"ovs-4core-rss", Config{Switch: "ovs", Scenario: P2P, FrameLen: 64, Bidir: true, Flows: 64,
+			SUTCores: 4, Dispatch: DispatchRSS, RSSPolicy: RSSFlowHash}, 3},
+		{"vpp-4core-rtc", Config{Switch: "vpp", Scenario: P2P, FrameLen: 64, Bidir: true,
+			SUTCores: 4, Dispatch: DispatchRTC}, 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg
+			cfg.Duration = 2 * units.Millisecond
+			cfg.Warmup = units.Millisecond
+			seq, par := runBoth(t, cfg)
+			if ds, dp := resultDigest(t, seq), resultDigest(t, par); ds != dp {
+				t.Errorf("digest: sequential %s vs parallel %s (engines diverged)", ds, dp)
+			}
+			if seq.Steps != par.Steps {
+				t.Errorf("Steps: sequential %d vs parallel %d", seq.Steps, par.Steps)
+			}
+			if seq.SimPartitions != 0 {
+				t.Errorf("sequential SimPartitions = %d, want 0", seq.SimPartitions)
+			}
+			if par.SimPartitions != tc.parts {
+				t.Errorf("parallel SimPartitions = %d, want %d", par.SimPartitions, tc.parts)
+			}
+		})
+	}
+}
+
+// TestParallelMatchesPinnedGoldens runs a cross-section of the pinned
+// golden configs (guest-path, multi-core) under the parallel engine and
+// asserts the exact pinned digests: SimWorkers is json:"-", so the engine
+// must not shift a single byte of the golden Results.
+func TestParallelMatchesPinnedGoldens(t *testing.T) {
+	cases := []struct {
+		cfg    Config
+		digest string
+	}{
+		// From TestGuestPathGoldenDigests.
+		{Config{Switch: "vpp", Scenario: P2V, FrameLen: 64}, "ea7585bb3974810c0ae06cc1ff2b27f8"},
+		{Config{Switch: "vpp", Scenario: V2V, FrameLen: 64}, "ed5442a6088be0e4cb4809d01ad69672"},
+		{Config{Switch: "vpp", Scenario: Loopback, Chain: 4, FrameLen: 64}, "e7979e2b67320861df5ae5c5c5e14aaa"},
+		// From TestMultiCoreGoldenDigests.
+		{Config{Switch: "ovs", Scenario: P2P, FrameLen: 64, Bidir: true, Flows: 64,
+			SUTCores: 4, Dispatch: DispatchRSS, RSSPolicy: RSSFlowHash}, "145925ef8cc95e458a37e745dccb2988"},
+		{Config{Switch: "vpp", Scenario: P2P, FrameLen: 64, Bidir: true, Flows: 64,
+			SUTCores: 4, Dispatch: DispatchRTC}, "c2660b6f055c1bf654be77e12c3d23bf"},
+	}
+	for _, tc := range cases {
+		cfg := tc.cfg
+		cfg.Duration = 2 * units.Millisecond
+		cfg.Warmup = units.Millisecond
+		cfg.SimWorkers = 4
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", tc.cfg, err)
+		}
+		if got := resultDigest(t, res); got != tc.digest {
+			t.Errorf("%s/%v parallel: digest %s, want pinned %s",
+				tc.cfg.Switch, tc.cfg.Scenario, got, tc.digest)
+		}
+	}
+}
+
+// TestParallelDeterminism: with K > 1 live partitions the wall-clock
+// interleaving of windows varies run to run, but the Result must not.
+// This test is the race-detector anchor for the engine: under -race it
+// also proves the handoff rings, shared pools, and published clocks are
+// data-race free.
+func TestParallelDeterminism(t *testing.T) {
+	cfg := Config{Switch: "vpp", Scenario: P2P, FrameLen: 64, Bidir: true,
+		SimWorkers: 4, Duration: 2 * units.Millisecond, Warmup: units.Millisecond}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if da, db := resultDigest(t, a), resultDigest(t, b); da != db {
+		t.Fatalf("non-deterministic parallel run: %s vs %s", da, db)
+	}
+	if a.SimPartitions < 2 {
+		t.Fatalf("SimPartitions = %d, want a live partitioned run", a.SimPartitions)
+	}
+}
+
+// TestInterruptModeFallsBackSequential: cutting a wire into an IRQ-bound
+// port is forbidden (the sender would schedule interrupts cross-thread),
+// so interrupt-mode switches must ignore SimWorkers — and still match
+// their pinned golden digest.
+func TestInterruptModeFallsBackSequential(t *testing.T) {
+	cfg := Config{Switch: "vale", Scenario: Loopback, Chain: 2, FrameLen: 64,
+		SimWorkers: 4, Duration: 2 * units.Millisecond, Warmup: units.Millisecond}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SimPartitions != 0 {
+		t.Errorf("SimPartitions = %d, want 0 (sequential fallback)", res.SimPartitions)
+	}
+	// Pinned in TestGuestPathGoldenDigests for the sequential engine.
+	if got := resultDigest(t, res); got != "d4e10b4b84738c3f85352573647de49f" {
+		t.Errorf("vale fallback digest %s, want pinned d4e10b4b84738c3f85352573647de49f", got)
+	}
+}
+
+// TestValidateSimWorkers covers the SimWorkers validation rule.
+func TestValidateSimWorkers(t *testing.T) {
+	bad := Config{Switch: "vpp", Scenario: P2P, SimWorkers: -1}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted SimWorkers=-1")
+	}
+	for _, w := range []int{0, 1, 4, 64} {
+		cfg := Config{Switch: "vpp", Scenario: P2P, SimWorkers: w}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(SimWorkers=%d): %v", w, err)
+		}
+	}
+}

@@ -24,7 +24,7 @@ func Run(cfg Config) (Result, error) {
 
 	// Warmup: caches fill, MAC tables learn, JIT traces compile, queues
 	// reach steady state.
-	tb.sched.RunUntil(cfg.Warmup)
+	tb.run(cfg.Warmup)
 
 	// Snapshot counters and reset latency histograms at window start.
 	snaps := make([]stats.Counter, len(tb.dirRx))
@@ -52,10 +52,10 @@ func Run(cfg Config) (Result, error) {
 		busy0[i], idle0[i] = c.Busy, c.Idle
 	}
 
-	tb.sched.RunUntil(cfg.Warmup + cfg.Duration)
+	tb.run(cfg.Warmup + cfg.Duration)
 
 	// Collect.
-	res := Result{Config: cfg, Display: tb.info.Display, Steps: tb.sched.Steps()}
+	res := Result{Config: cfg, Display: tb.info.Display, Steps: tb.steps(), SimPartitions: tb.partitions()}
 	for i, fn := range tb.dirRx {
 		d := fn().Sub(snaps[i])
 		dir := DirResult{

@@ -1,0 +1,131 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/cost"
+	"repro/internal/cpu"
+	"repro/internal/pkt"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// defaultPair returns a connected port pair keeping the default
+// descriptor-path latencies (unlike pair(), which zeroes them).
+func defaultPair() (*Port, *Port) {
+	a, b := NewPort(Config{Name: "a"}), NewPort(Config{Name: "b"})
+	Connect(a, b)
+	return a, b
+}
+
+// TestCutWireMatchesDirectDelivery: a cut wire drained before the
+// receiver polls is indistinguishable from direct delivery — same pending
+// counts at the same times.
+func TestCutWireMatchesDirectDelivery(t *testing.T) {
+	cutA, cutB := defaultPair()
+	dirA, dirB := defaultPair()
+	h := CutWire(cutA, 0)
+
+	pool := pkt.NewPool(2048)
+	sendTimes := []units.Time{0, 100 * units.Nanosecond, units.Microsecond}
+	for _, at := range sendTimes {
+		if !cutA.SendAt(at, pool.Get(64)) || !dirA.SendAt(at, pool.Get(64)) {
+			t.Fatal("send failed")
+		}
+	}
+	h.Drain()
+	for _, now := range []units.Time{0, 4 * units.Microsecond, 10 * units.Microsecond} {
+		if c, d := cutB.RxPending(now), dirB.RxPending(now); c != d {
+			t.Errorf("at %v: cut pending %d, direct pending %d", now, c, d)
+		}
+	}
+	if cutB.RxPending(10*units.Microsecond) != len(sendTimes) {
+		t.Errorf("not all frames delivered through the cut")
+	}
+}
+
+// TestLookaheadEdge pins the conservative-sync margin: a frame sent while
+// the sender's clock reads c is NOT yet consumer-visible at the receiver
+// window edge c + WireLookahead — serialization time is the strict
+// inequality — and becomes visible one wire time later. This is what
+// makes the engine's inclusive window edges (dispatch up to and including
+// clock+L) sound.
+func TestLookaheadEdge(t *testing.T) {
+	a, b := defaultPair()
+	h := CutWire(a, 0)
+	L := WireLookahead(a)
+	if want := DefaultTxLatency + DefaultRxLatency; L != want {
+		t.Fatalf("WireLookahead = %v, want %v", L, want)
+	}
+
+	pool := pkt.NewPool(2048)
+	// Sender clock reads 0 at send time.
+	if !a.SendAt(0, pool.Get(64)) {
+		t.Fatal("send failed")
+	}
+	h.Drain()
+	wire := a.cfg.Rate.WireTime(64)
+	if wire <= 0 {
+		t.Fatal("wire time must be positive for the edge margin to exist")
+	}
+	if n := b.RxPending(L); n != 0 {
+		t.Fatalf("frame visible at the lookahead edge itself (pending=%d)", n)
+	}
+	if n := b.RxPending(L + wire); n != 1 {
+		t.Fatalf("frame not visible one wire time past the edge (pending=%d)", n)
+	}
+}
+
+// TestHandoffWraps: the ring index wraps through a small capacity across
+// multiple push/drain rounds without losing or reordering frames.
+func TestHandoffWraps(t *testing.T) {
+	a, b := defaultPair()
+	h := CutWire(a, 3) // rounds up to 4 slots
+	if len(h.slots) != 4 {
+		t.Fatalf("capacity = %d, want rounded to 4", len(h.slots))
+	}
+	pool := pkt.NewPool(2048)
+	total := 0
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 3; i++ {
+			if !a.SendAt(units.Time(total)*units.Microsecond, pool.Get(64)) {
+				t.Fatal("send failed")
+			}
+			total++
+		}
+		h.Drain()
+	}
+	if n := b.RxPending(units.Millisecond); n != total {
+		t.Fatalf("delivered %d of %d frames across wraps", n, total)
+	}
+}
+
+// TestCutWirePanics: cutting an unconnected port or a wire into an
+// IRQ-bound receiver is a wiring bug and must fail loudly.
+func TestCutWirePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("unconnected", func() {
+		CutWire(NewPort(Config{Name: "lone"}), 0)
+	})
+
+	s := sim.NewScheduler()
+	m := cost.NewMeter(cost.Default(), sim.NewRNG(1))
+	a, b := defaultPair()
+	b.BindIRQ(cpu.NewIRQCore(s, "irq", m, func(now units.Time, mt *cost.Meter) bool { return false }))
+	expectPanic("irq-bound receiver", func() { CutWire(a, 0) })
+}
+
+// TestWireLookaheadUnconnected: no peer means no lookahead to offer.
+func TestWireLookaheadUnconnected(t *testing.T) {
+	if l := WireLookahead(NewPort(Config{Name: "lone"})); l != 0 {
+		t.Errorf("WireLookahead on unconnected port = %v, want 0", l)
+	}
+}

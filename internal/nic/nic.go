@@ -74,6 +74,10 @@ const compactAt = 256
 type Port struct {
 	cfg  Config
 	peer *Port
+	// out, when non-nil, replaces direct peer delivery with a
+	// cross-partition handoff queue (see CutWire): the wire has been cut
+	// by the partitioned engine and the peer lives on another goroutine.
+	out *Handoff
 
 	// TX pacing state: doneTimes[doneHead:] holds the wire-completion
 	// times of queued frames (FIFO); busyUntil is when the wire frees up.
@@ -236,7 +240,11 @@ func (p *Port) SendAt(at units.Time, b *pkt.Buf) bool {
 		// The NIC stamps the probe as the frame hits the wire.
 		b.TxStamp = done
 	}
-	p.peer.arrive(done, b)
+	if p.out != nil {
+		p.out.push(done, b)
+	} else {
+		p.peer.arrive(done, b)
+	}
 	return true
 }
 

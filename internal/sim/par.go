@@ -1,0 +1,230 @@
+// Conservative parallel dispatch (dist-gem5-style synchronization).
+//
+// A PartitionedScheduler runs K independent Schedulers — one per actor-graph
+// partition — on K goroutines. Safety comes from lookahead, not locks: every
+// cross-partition influence travels over a link with a known minimum latency
+// L, so when partition j's published clock reads c, nothing j does can become
+// visible inside partition i before c + L. Partition i may therefore freely
+// dispatch every event up to
+//
+//	safe(i) = min over inbound links (from j, lookahead L): clock(j) + L
+//
+// without ever seeing an effect out of timestamp order. Each partition loops:
+// drain inbound handoff queues, dispatch one window with RunUntilSlice(safe,
+// phase), publish its new clock. There is no global barrier — partitions
+// advance as their senders allow, spinning (with Gosched) only when starved.
+//
+// Bit-identity with the sequential engine follows from three properties:
+// per-partition dispatch order is unchanged (same heap, same (when, seq)
+// order — see RunUntilSlice); cross-partition frames carry the same
+// timestamps they would have carried in-process and are delivered before the
+// receiver's clock can reach them (the drain runs at the top of every window,
+// and a frame stamped t was pushed while its sender's clock was < t - L <
+// every subsequent window edge of the receiver); and no other mutable state
+// crosses a cut. Where the window edges fall is a pure host-scheduling
+// artifact that no actor can observe.
+//
+// Liveness: let m be the minimum clock over unfinished partitions. Every
+// inbound sender of a partition sitting at m has clock >= m, so its bound is
+// >= m + L > m and the partition at m can always advance. Positive lookahead
+// on every link is therefore required (Link panics on L <= 0).
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/units"
+)
+
+// parEdge is one inbound cross-partition link: the receiver may run to
+// clock(from) + lookahead.
+type parEdge struct {
+	from      int
+	lookahead units.Time
+}
+
+// paddedClock keeps each partition's published clock on its own cache line;
+// the clocks are the only cross-goroutine hot state.
+type paddedClock struct {
+	t atomic.Int64
+	_ [56]byte
+}
+
+// PartitionedScheduler coordinates K partition schedulers under
+// conservative lookahead synchronization.
+type PartitionedScheduler struct {
+	scheds  []*Scheduler
+	inbound [][]parEdge
+	windows [][]func()
+	clocks  []paddedClock
+}
+
+// NewPartitioned wraps the given per-partition schedulers. The caller wires
+// links (Link) and window hooks (OnWindow) before the first RunUntil.
+func NewPartitioned(scheds []*Scheduler) *PartitionedScheduler {
+	if len(scheds) < 2 {
+		panic("sim: partitioned run needs at least 2 schedulers")
+	}
+	return &PartitionedScheduler{
+		scheds:  scheds,
+		inbound: make([][]parEdge, len(scheds)),
+		windows: make([][]func(), len(scheds)),
+		clocks:  make([]paddedClock, len(scheds)),
+	}
+}
+
+// Parts returns the partition count K.
+func (p *PartitionedScheduler) Parts() int { return len(p.scheds) }
+
+// Sched returns partition i's scheduler.
+func (p *PartitionedScheduler) Sched(i int) *Scheduler { return p.scheds[i] }
+
+// Link declares that partition `to` receives time-stamped work from
+// partition `from` with at least `lookahead` of delay. The lookahead must be
+// strictly positive or the conservative loop could deadlock.
+func (p *PartitionedScheduler) Link(from, to int, lookahead units.Time) {
+	if lookahead <= 0 {
+		panic("sim: cross-partition link needs positive lookahead")
+	}
+	if from == to {
+		panic("sim: cross-partition link cannot be a self-loop")
+	}
+	p.inbound[to] = append(p.inbound[to], parEdge{from: from, lookahead: lookahead})
+}
+
+// OnWindow registers fn to run at the top of every dispatch window of
+// partition part (and once more after each phase ends). Hooks drain inbound
+// frame handoffs and reclaim remotely freed pool buffers; they run on the
+// partition's own goroutine, so anything partition-local is safe to touch.
+func (p *PartitionedScheduler) OnWindow(part int, fn func()) {
+	p.windows[part] = append(p.windows[part], fn)
+}
+
+// RunUntil advances all partitions to time to. It blocks until every
+// partition has reached it; the final drain leaves all cross-partition
+// queues empty, so between phases the testbed state matches what the
+// sequential engine would hold (in-flight frames staged at their receiving
+// ports, clocks equal). Counter reads after RunUntil returns are ordered
+// behind all partition work by the join.
+func (p *PartitionedScheduler) RunUntil(to units.Time) {
+	for i := range p.scheds {
+		p.clocks[i].t.Store(int64(p.scheds[i].Now()))
+	}
+	if runtime.GOMAXPROCS(0) == 1 {
+		// One hardware thread: goroutine workers would only steal the
+		// core from each other (a starved partition's spin evicts the
+		// one that could progress). Interleave the same windows on this
+		// goroutine instead — identical dispatch, no scheduler churn.
+		p.runCoop(to)
+	} else {
+		var wg sync.WaitGroup
+		for i := 1; i < len(p.scheds); i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p.runPart(i, to)
+			}(i)
+		}
+		p.runPart(0, to)
+		wg.Wait()
+	}
+	for i := range p.windows {
+		for _, fn := range p.windows[i] {
+			fn()
+		}
+	}
+}
+
+// safeBound returns how far partition i may dispatch: the phase end,
+// lowered to clock + lookahead over each inbound link whose sender has not
+// itself finished the phase.
+func (p *PartitionedScheduler) safeBound(i int, to units.Time) units.Time {
+	safe := to
+	for _, e := range p.inbound[i] {
+		c := units.Time(p.clocks[e.from].t.Load())
+		if c >= to {
+			continue
+		}
+		if b := c + e.lookahead; b < safe {
+			safe = b
+		}
+	}
+	return safe
+}
+
+// runPart is one partition's conservative dispatch loop (goroutine mode).
+func (p *PartitionedScheduler) runPart(i int, to units.Time) {
+	s := p.scheds[i]
+	now := s.Now()
+	for now < to {
+		safe := p.safeBound(i, to)
+		if safe <= now {
+			runtime.Gosched() // starved: a sender must publish first
+			continue
+		}
+		for _, fn := range p.windows[i] {
+			fn()
+		}
+		s.RunUntilSlice(safe, to)
+		now = safe
+		p.clocks[i].t.Store(int64(now))
+	}
+}
+
+// runCoop interleaves every partition's windows on the calling goroutine.
+// Same conservative bounds, same dispatch, same published clocks — only
+// the host-side execution is serialized, so it is used when there is no
+// second hardware thread to win (and it still benefits from the smaller
+// per-partition heaps). The round-robin always progresses: the partition
+// holding the minimum clock has safeBound > now by positive lookahead.
+func (p *PartitionedScheduler) runCoop(to units.Time) {
+	for {
+		allDone := true
+		for i := range p.scheds {
+			s := p.scheds[i]
+			now := s.Now()
+			if now >= to {
+				continue
+			}
+			allDone = false
+			safe := p.safeBound(i, to)
+			if safe <= now {
+				continue
+			}
+			for _, fn := range p.windows[i] {
+				fn()
+			}
+			s.RunUntilSlice(safe, to)
+			p.clocks[i].t.Store(int64(safe))
+		}
+		if allDone {
+			return
+		}
+	}
+}
+
+// Steps returns the dispatch count summed over partitions, in partition
+// order. The per-partition counts — and hence the sum — are independent of
+// where the window edges fell, so Steps is bit-identical to the sequential
+// engine's (it is pinned in golden Result digests).
+func (p *PartitionedScheduler) Steps() uint64 {
+	var n uint64
+	for _, s := range p.scheds {
+		n += s.Steps()
+	}
+	return n
+}
+
+// FastPathHits returns the run-next fast-path count summed over partitions,
+// in partition order. Unlike Steps, this IS window-edge dependent (a heap
+// bypass only triggers when the next event fits the current window), so it
+// is engine diagnostics only and must never feed a digested output.
+func (p *PartitionedScheduler) FastPathHits() uint64 {
+	var n uint64
+	for _, s := range p.scheds {
+		n += s.FastPathHits()
+	}
+	return n
+}

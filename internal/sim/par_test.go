@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/units"
+)
+
+// TestRunUntilSliceEquivalence: dispatching a phase as many lookahead-sized
+// slices produces the same step times, step count, and final clock as one
+// unsliced RunUntil — the property the partitioned engine's windows rest on.
+func TestRunUntilSliceEquivalence(t *testing.T) {
+	run := func(slice units.Time) (*tick, *tick, *Scheduler) {
+		s := NewScheduler()
+		a := &tick{interval: 3 * units.Nanosecond, limit: 100}
+		b := &tick{interval: 7 * units.Nanosecond, limit: 40}
+		s.WakeAt(s.Register("a", a), 0)
+		s.WakeAt(s.Register("b", b), 0)
+		const horizon = units.Microsecond
+		if slice <= 0 {
+			s.RunUntil(horizon)
+		} else {
+			for edge := slice; ; edge += slice {
+				if edge > horizon {
+					edge = horizon
+				}
+				s.RunUntilSlice(edge, horizon)
+				if edge == horizon {
+					break
+				}
+			}
+		}
+		return a, b, s
+	}
+
+	refA, refB, refS := run(0)
+	// Slice widths chosen to land edges both between and exactly on event
+	// times (3ns and 7ns grids): the inclusive edge must not double- or
+	// zero-count a boundary event.
+	for _, slice := range []units.Time{units.Nanosecond, 3 * units.Nanosecond,
+		7 * units.Nanosecond, 21 * units.Nanosecond, 100 * units.Nanosecond} {
+		a, b, s := run(slice)
+		if len(a.times) != len(refA.times) || len(b.times) != len(refB.times) {
+			t.Fatalf("slice %v: step counts a=%d b=%d, want a=%d b=%d",
+				slice, len(a.times), len(b.times), len(refA.times), len(refB.times))
+		}
+		for i := range a.times {
+			if a.times[i] != refA.times[i] {
+				t.Fatalf("slice %v: a step %d at %v, want %v", slice, i, a.times[i], refA.times[i])
+			}
+		}
+		for i := range b.times {
+			if b.times[i] != refB.times[i] {
+				t.Fatalf("slice %v: b step %d at %v, want %v", slice, i, b.times[i], refB.times[i])
+			}
+		}
+		if s.Now() != refS.Now() {
+			t.Errorf("slice %v: clock %v, want %v", slice, s.Now(), refS.Now())
+		}
+		if s.Steps() != refS.Steps() {
+			t.Errorf("slice %v: steps %d, want %d", slice, s.Steps(), refS.Steps())
+		}
+	}
+}
+
+// TestRunUntilSliceDeadline: during a slice, Deadline() reports the phase
+// horizon (not the slice edge), so deadline-aware actors (batched rate
+// generators) make the same choices as under an unsliced run.
+func TestRunUntilSliceDeadline(t *testing.T) {
+	s := NewScheduler()
+	var seen units.Time
+	probe := actorFunc(func(now units.Time) (units.Time, bool) {
+		seen = s.Deadline()
+		return 0, false
+	})
+	s.WakeAt(s.Register("probe", probe), 10*units.Nanosecond)
+	s.RunUntilSlice(50*units.Nanosecond, units.Microsecond)
+	if seen != units.Microsecond {
+		t.Errorf("Deadline inside slice = %v, want the phase horizon %v", seen, units.Microsecond)
+	}
+	if s.Now() != 50*units.Nanosecond {
+		t.Errorf("clock after slice = %v, want the slice edge", s.Now())
+	}
+}
+
+type actorFunc func(units.Time) (units.Time, bool)
+
+func (f actorFunc) Step(now units.Time) (units.Time, bool) { return f(now) }
+
+// TestPartitionedRunUntil: two linked partitions both reach the phase end,
+// counters aggregate, and per-partition step times are what a sequential
+// scheduler would have produced — regardless of how the windows land.
+func TestPartitionedRunUntil(t *testing.T) {
+	s0, s1 := NewScheduler(), NewScheduler()
+	a := &tick{interval: 3 * units.Nanosecond, limit: 200}
+	b := &tick{interval: 5 * units.Nanosecond, limit: 150}
+	s0.WakeAt(s0.Register("a", a), 0)
+	s1.WakeAt(s1.Register("b", b), 0)
+
+	p := NewPartitioned([]*Scheduler{s0, s1})
+	p.Link(0, 1, 10*units.Nanosecond)
+	p.Link(1, 0, 10*units.Nanosecond)
+	var windows0 int
+	p.OnWindow(0, func() { windows0++ })
+
+	const phase = units.Microsecond
+	p.RunUntil(phase)
+
+	if s0.Now() != phase || s1.Now() != phase {
+		t.Fatalf("clocks = %v, %v, want both at %v", s0.Now(), s1.Now(), phase)
+	}
+	if len(a.times) != 200 || len(b.times) != 150 {
+		t.Fatalf("step counts a=%d b=%d", len(a.times), len(b.times))
+	}
+	for i, at := range a.times {
+		if at != units.Time(i)*3*units.Nanosecond {
+			t.Fatalf("a step %d at %v", i, at)
+		}
+	}
+	if p.Steps() != s0.Steps()+s1.Steps() {
+		t.Errorf("Steps() = %d, want %d", p.Steps(), s0.Steps()+s1.Steps())
+	}
+	if windows0 == 0 {
+		t.Error("window hook on partition 0 never ran")
+	}
+}
+
+// TestPartitionedPanics pins the constructor and Link misuse guards.
+func TestPartitionedPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("NewPartitioned(1)", func() { NewPartitioned([]*Scheduler{NewScheduler()}) })
+	p := NewPartitioned([]*Scheduler{NewScheduler(), NewScheduler()})
+	expectPanic("zero lookahead", func() { p.Link(0, 1, 0) })
+	expectPanic("self-loop", func() { p.Link(0, 0, units.Nanosecond) })
+}

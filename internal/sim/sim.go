@@ -123,10 +123,31 @@ func (s *Scheduler) WakeAt(t *Task, at units.Time) {
 // the next step would occur after deadline. The clock is left at the last
 // dispatched step (or at deadline if nothing ran at/after it).
 func (s *Scheduler) RunUntil(deadline units.Time) {
-	s.deadline = deadline
+	s.RunUntilSlice(deadline, deadline)
+}
+
+// RunUntilSlice dispatches steps in timestamp order up to edge, while
+// reporting horizon through Deadline(). It is the partitioned engine's
+// inner loop: a partition executes one lookahead window at a time
+// (edge = its conservative safe bound) within a user-level phase
+// (horizon = the RunUntil bound the sequential engine would have used).
+// Keeping Deadline() at the phase bound is what makes window slicing
+// invisible to actors: the batched rate-mode generators stamp work
+// against Deadline(), so slicing at edges must not shrink their batches —
+// that would change the dispatch count (Result.Steps, a pinned
+// determinism fingerprint) even though the traffic would not move.
+//
+// Slicing cannot reorder dispatches: every pending event with when <=
+// edge runs in this slice, and an event dispatched in a later slice has
+// when > edge, so anything it schedules lands at >= its own when > edge —
+// no later slice can create work for an earlier one. The sliced dispatch
+// sequence is therefore identical to one RunUntil(horizon), wherever the
+// edges fall.
+func (s *Scheduler) RunUntilSlice(edge, horizon units.Time) {
+	s.deadline = horizon
 	for len(s.queue) > 0 {
 		next := s.queue[0]
-		if next.when > deadline {
+		if next.when > edge {
 			break
 		}
 		s.queue.popMin()
@@ -150,7 +171,7 @@ func (s *Scheduler) RunUntil(deadline units.Time) {
 			// exact dispatch order: the task must precede the heap minimum
 			// under (when, seq), be within the deadline, and not have been
 			// re-queued by its own side effects mid-step.
-			if !next.scheduled && when <= deadline {
+			if !next.scheduled && when <= edge {
 				if len(s.queue) == 0 || (when < s.queue[0].when || (when == s.queue[0].when && next.seq < s.queue[0].seq)) {
 					next.when = when
 					s.fastHits++
@@ -162,8 +183,8 @@ func (s *Scheduler) RunUntil(deadline units.Time) {
 		}
 	}
 	s.deadline = 0
-	if s.now < deadline {
-		s.now = deadline
+	if s.now < edge {
+		s.now = edge
 	}
 }
 

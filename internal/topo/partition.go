@@ -1,0 +1,68 @@
+// Partition discovery for the conservative parallel engine.
+//
+// A compiled graph can run on several goroutines only where an edge carries
+// enough latency to serve as lookahead. In this testbed exactly one edge
+// class qualifies: the physical wire inside a phys pair, whose NIC
+// descriptor-path delays (TxLatency + RxLatency, 3.5 µs by default) bound
+// cross-side influence in *both* directions. Vif crossings do not — the
+// guest→host doorbell is zero-delay — and RTC handoff rings are synchronous,
+// so everything reachable without crossing a wire (the switch, its cores,
+// every VM, guest-side endpoints) stays in one partition: the SUT side,
+// partition 0. Each phys pair's generator-side NIC and the endpoints
+// attached to it form its own partition; the generator side vs SUT side
+// split is the guaranteed 2-cut, and multi-port topologies cut further.
+package topo
+
+// Cut assigns every node of a compiled graph to a partition.
+type Cut struct {
+	// Parts is the partition count K. 1 means no usable cut: run the
+	// sequential engine.
+	Parts int
+	// Of maps node name → partition index. Partition 0 is the SUT side.
+	Of map[string]int
+}
+
+// Partition computes the wire-boundary cut of g, bounded by maxParts
+// simulation workers (maxParts <= 1 disables partitioning). Phys pairs are
+// distributed round-robin over the non-SUT partitions; NIC-side generators
+// and sinks follow the pair they attach to. Graphs without a phys pair
+// (v2v) have no positive-lookahead edge and fall back to Parts = 1.
+func Partition(g *Graph, maxParts int) *Cut {
+	cut := &Cut{Parts: 1, Of: make(map[string]int, len(g.Nodes))}
+	for i := range g.Nodes {
+		cut.Of[g.Nodes[i].Name] = 0
+	}
+	if maxParts <= 1 {
+		return cut
+	}
+	genParts := maxParts - 1
+	pairs := 0
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Kind != KindPhysPair {
+			continue
+		}
+		cut.Of[n.Name] = 1 + pairs%genParts
+		pairs++
+	}
+	if pairs == 0 {
+		return cut
+	}
+	if pairs < genParts {
+		genParts = pairs
+	}
+	cut.Parts = 1 + genParts
+	// NIC-side endpoints live behind their pair's wire, on the generator
+	// side of the cut. Guest-side endpoints (At = a guestif) stay on the
+	// SUT partition with their VM.
+	for i := range g.Nodes {
+		n := &g.Nodes[i]
+		if n.Kind != KindGenerator && n.Kind != KindSink {
+			continue
+		}
+		if at := g.node(n.At); at != nil && at.Kind == KindPhysPair {
+			cut.Of[n.Name] = cut.Of[at.Name]
+		}
+	}
+	return cut
+}

@@ -1,0 +1,106 @@
+package topo
+
+import "testing"
+
+// p2pGraph is the p2p bidir shape: two phys pairs, a generator and sink
+// on each pair (the switch itself is implicit in the compiled testbed).
+func p2pGraph() *Graph {
+	return &Graph{
+		Nodes: []Node{
+			{Name: "p0", Kind: KindPhysPair},
+			{Name: "p1", Kind: KindPhysPair},
+			{Name: "tx0", Kind: KindGenerator, At: "p0"},
+			{Name: "rx1", Kind: KindSink, At: "p1"},
+			{Name: "tx1", Kind: KindGenerator, At: "p1"},
+			{Name: "rx0", Kind: KindSink, At: "p0"},
+		},
+	}
+}
+
+func TestPartitionP2P(t *testing.T) {
+	cut := Partition(p2pGraph(), 4)
+	if cut.Parts != 3 {
+		t.Fatalf("Parts = %d, want 3 (SUT + one per pair)", cut.Parts)
+	}
+	want := map[string]int{
+		"p0": 1, "tx0": 1, "rx0": 1,
+		"p1": 2, "tx1": 2, "rx1": 2,
+	}
+	for name, part := range want {
+		if cut.Of[name] != part {
+			t.Errorf("%s in partition %d, want %d", name, cut.Of[name], part)
+		}
+	}
+}
+
+// TestPartitionMerges: fewer workers than pairs folds pairs together
+// round-robin but always keeps the SUT side alone in partition 0.
+func TestPartitionMerges(t *testing.T) {
+	cut := Partition(p2pGraph(), 2)
+	if cut.Parts != 2 {
+		t.Fatalf("Parts = %d, want 2", cut.Parts)
+	}
+	for _, name := range []string{"p0", "p1", "tx0", "tx1", "rx0", "rx1"} {
+		if cut.Of[name] != 1 {
+			t.Errorf("%s in partition %d, want 1", name, cut.Of[name])
+		}
+	}
+}
+
+// TestPartitionNoWires: a graph without phys pairs (v2v) has no
+// positive-lookahead edge to cut — sequential fallback.
+func TestPartitionNoWires(t *testing.T) {
+	g := &Graph{
+		Nodes: []Node{
+			{Name: "g0", Kind: KindGuestIf, VM: "vm0"},
+			{Name: "g1", Kind: KindGuestIf, VM: "vm1"},
+			{Name: "gen", Kind: KindGenerator, At: "g0"},
+			{Name: "sink", Kind: KindSink, At: "g1"},
+		},
+	}
+	cut := Partition(g, 8)
+	if cut.Parts != 1 {
+		t.Fatalf("Parts = %d, want 1 (no cuttable wire)", cut.Parts)
+	}
+}
+
+// TestPartitionGuestEndpointsStayOnSUT: endpoints attached to a guest
+// interface (p2v's VM-side sink) share memory with their VM and must
+// stay in partition 0 even when wires are cut.
+func TestPartitionGuestEndpointsStayOnSUT(t *testing.T) {
+	g := &Graph{
+		Nodes: []Node{
+			{Name: "p0", Kind: KindPhysPair},
+			{Name: "g0", Kind: KindGuestIf, VM: "vm0"},
+			{Name: "tx", Kind: KindGenerator, At: "p0"},
+			{Name: "vsink", Kind: KindSink, At: "g0"},
+		},
+	}
+	cut := Partition(g, 4)
+	if cut.Parts != 2 {
+		t.Fatalf("Parts = %d, want 2", cut.Parts)
+	}
+	if cut.Of["tx"] != 1 || cut.Of["p0"] != 1 {
+		t.Errorf("generator side: p0=%d tx=%d, want both 1", cut.Of["p0"], cut.Of["tx"])
+	}
+	for _, name := range []string{"g0", "vsink"} {
+		if cut.Of[name] != 0 {
+			t.Errorf("%s in partition %d, want 0 (SUT side)", name, cut.Of[name])
+		}
+	}
+}
+
+// TestPartitionDisabled: maxParts <= 1 is the explicit sequential choice.
+func TestPartitionDisabled(t *testing.T) {
+	for _, mp := range []int{0, 1, -3} {
+		cut := Partition(p2pGraph(), mp)
+		if cut.Parts != 1 {
+			t.Errorf("maxParts=%d: Parts = %d, want 1", mp, cut.Parts)
+		}
+		for name, part := range cut.Of {
+			if part != 0 {
+				t.Errorf("maxParts=%d: %s in partition %d", mp, name, part)
+			}
+		}
+	}
+}
