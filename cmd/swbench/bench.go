@@ -19,6 +19,7 @@ func benchCmd(args []string) error {
 	cells := fs.String("cells", "", "comma-separated cell names to run (default: all)")
 	out := fs.String("out", "", "write the report (or comparison, with -baseline) as JSON to this path")
 	baselinePath := fs.String("baseline", "", "merge against this saved report into a baseline-vs-optimized comparison")
+	memoBaseline := fs.Bool("memo-baseline", false, "also run each cell with classification memoization disabled and record the reference-vs-memoized host speedup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -28,11 +29,12 @@ func benchCmd(args []string) error {
 		only = strings.Split(*cells, ",")
 	}
 	rep, err := bench.Run(bench.Options{
-		Opts:     bench.DefaultOpts(*quick),
-		Quick:    *quick,
-		Repeats:  *repeats,
-		Cells:    only,
-		Progress: os.Stderr,
+		Opts:         bench.DefaultOpts(*quick),
+		Quick:        *quick,
+		Repeats:      *repeats,
+		Cells:        only,
+		MemoBaseline: *memoBaseline,
+		Progress:     os.Stderr,
 	})
 	if err != nil {
 		return err

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/switches/switchdef"
 	"repro/internal/units"
 )
 
@@ -58,6 +59,14 @@ func Cells(o core.RunOpts) []Cell {
 		FrameLen: 64, Bidir: true})
 	return []Cell{
 		p2p,
+		// Per-switch p2p stress cells (p2p-64B is the VPP member of the
+		// set): these are switch-bound — host time goes to the dataplane
+		// model, not the guest path — so they isolate switch-layer
+		// regressions and show what classification memoization buys.
+		mk("p2p-64B-ovs", core.Config{Switch: "ovs", Scenario: core.P2P, FrameLen: 64}),
+		mk("p2p-64B-ovs-256f", core.Config{Switch: "ovs", Scenario: core.P2P, FrameLen: 64, Flows: 256}),
+		mk("p2p-64B-fastclick", core.Config{Switch: "fastclick", Scenario: core.P2P, FrameLen: 64}),
+		mk("p2p-64B-t4p4s", core.Config{Switch: "t4p4s", Scenario: core.P2P, FrameLen: 64}),
 		mk("p2p-64B-bess", core.Config{Switch: "bess", Scenario: core.P2P, FrameLen: 64}),
 		mk("p2v-64B", core.Config{Switch: "vpp", Scenario: core.P2V, FrameLen: 64}),
 		mk("v2v-64B", core.Config{Switch: "vpp", Scenario: core.V2V, FrameLen: 64}),
@@ -98,6 +107,13 @@ type CellResult struct {
 	// SpeedupVsSequential is baseWall / thisWall for "-swN" variant
 	// cells whose sequential base ran in the same report (0 otherwise).
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+
+	// HostSpeedupVsPrev is referenceWall / thisWall when the run also
+	// measured the previous hot-path behaviour — the per-frame reference
+	// classification path, selected by force-disabling memoization — in
+	// the same process (Options.MemoBaseline). The two passes must agree
+	// on every simulation observable; only the host clock may differ.
+	HostSpeedupVsPrev float64 `json:"host_speedup_vs_prev,omitempty"`
 }
 
 // Report is one engine build's full measurement.
@@ -124,6 +140,11 @@ type Options struct {
 	// Cells, when non-empty, restricts the run to the named cells (CI
 	// smoke runs a single quick guest-path cell this way).
 	Cells []string
+	// MemoBaseline additionally runs every cell with classification
+	// memoization force-disabled (the reference per-frame path), asserts
+	// the simulation observables are bit-identical, and records the
+	// reference-vs-memoized host speedup as HostSpeedupVsPrev.
+	MemoBaseline bool
 	// Progress, when non-nil, receives one line per finished cell.
 	Progress io.Writer
 }
@@ -156,7 +177,7 @@ func Run(opts Options) (*Report, error) {
 			}
 		}
 		selected++
-		cr, err := runCell(cell, opts.Repeats)
+		cr, err := runCell(cell, opts.Repeats, opts.MemoBaseline)
 		if err != nil {
 			return nil, fmt.Errorf("bench %s: %w", cell.Name, err)
 		}
@@ -206,7 +227,7 @@ func linkParallelVariants(rep *Report) error {
 	return nil
 }
 
-func runCell(cell Cell, repeats int) (CellResult, error) {
+func runCell(cell Cell, repeats int, memoBaseline bool) (CellResult, error) {
 	cr := CellResult{Name: cell.Name}
 	for r := 0; r < repeats; r++ {
 		start := time.Now()
@@ -245,7 +266,47 @@ func runCell(cell Cell, repeats int) (CellResult, error) {
 		cr.EventsPerSec = float64(cr.Steps) / cr.WallSeconds
 		cr.SimPktPerSec = float64(cr.SimPackets) / cr.WallSeconds
 	}
+	if memoBaseline {
+		refWall, err := runReferencePass(cell, repeats, cr)
+		if err != nil {
+			return cr, err
+		}
+		if cr.WallSeconds > 0 {
+			cr.HostSpeedupVsPrev = refWall / cr.WallSeconds
+		}
+	}
 	return cr, nil
+}
+
+// runReferencePass reruns the cell with classification memoization
+// force-disabled (the per-frame reference path) and returns its best wall
+// time, failing if any simulation observable differs from the memoized run.
+func runReferencePass(cell Cell, repeats int, want CellResult) (float64, error) {
+	prev := switchdef.SetMemoDisabled(true)
+	defer switchdef.SetMemoDisabled(prev)
+	best := 0.0
+	for r := 0; r < repeats; r++ {
+		start := time.Now()
+		res, err := core.Run(cell.Cfg)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return 0, err
+		}
+		var pkts int64
+		for _, d := range res.Dirs {
+			pkts += d.RxPackets
+		}
+		if pkts != want.SimPackets || res.Steps != want.Steps || res.Gbps != want.Gbps || res.Drops != want.Drops {
+			return 0, fmt.Errorf("%w: cell %s reference pass (memoized %d pkts / %d steps / %.3f Gbps / %d drops, reference %d / %d / %.3f / %d)",
+				ErrOutputsDiverged, cell.Name,
+				want.SimPackets, want.Steps, want.Gbps, want.Drops,
+				pkts, res.Steps, res.Gbps, res.Drops)
+		}
+		if r == 0 || wall < best {
+			best = wall
+		}
+	}
+	return best, nil
 }
 
 // Comparison merges a baseline report with an optimized one, cell by cell.

@@ -175,6 +175,47 @@ func (mt *Meter) ChargeNoisy(c units.Cycles, frac float64) {
 	mt.Charge(n)
 }
 
+// ChargeBatch adds n frames' worth of a fixed per-frame cost in one call.
+// Bit-identical to n individual Charge(c) calls: integer cycle sums are
+// associative, so only the host-side call count changes.
+func (mt *Meter) ChargeBatch(c units.Cycles, n int) {
+	if n <= 0 {
+		return
+	}
+	mt.Charge(c * units.Cycles(n))
+}
+
+// ChargeNoisyBatch adds n frames' worth of ChargeNoisy(c, frac), consuming
+// the RNG stream exactly as n individual calls would: one ExpFloat64 draw
+// per frame, each converted to whole cycles *before* summing (the per-frame
+// truncation is what makes the total bit-identical to the per-frame path).
+// Only the Charge call count is amortized.
+func (mt *Meter) ChargeNoisyBatch(c units.Cycles, frac float64, n int) {
+	if n <= 0 {
+		return
+	}
+	if frac <= 0 || mt.RNG == nil {
+		mt.Charge(c * units.Cycles(n))
+		return
+	}
+	total := units.Cycles(0)
+	for i := 0; i < n; i++ {
+		total += c + units.Cycles(float64(c)*frac*mt.RNG.ExpFloat64())
+	}
+	mt.Charge(total)
+}
+
+// ScaleBy applies a modulation factor sampled earlier with Factor(now),
+// identically to Modulation.Scale at that instant. Hot paths hoist the
+// Factor call out of per-frame loops (now is constant within one poll) and
+// apply the cached factor here.
+func ScaleBy(f float64, c units.Cycles) units.Cycles {
+	if f == 1 || f == 0 {
+		return c
+	}
+	return units.Cycles(float64(c) * f)
+}
+
 // Stall charges a wall-clock duration (converted to cycles), used for
 // modelled pauses such as OvS revalidation or LuaJIT trace compilation.
 func (mt *Meter) Stall(d units.Time) {

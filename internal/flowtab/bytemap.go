@@ -1,0 +1,108 @@
+package flowtab
+
+import "bytes"
+
+// ByteMap is a growable open-addressed map keyed by byte strings. Keys are
+// copied into a shared arena on first insert, so lookups with a reused
+// scratch key allocate nothing — this replaces t4p4s's
+// map[string]Entry, whose per-lookup []byte→string conversion allocated on
+// every frame. No deletion (t4p4s programs replace tables wholesale).
+type ByteMap[V any] struct {
+	hashes []uint64
+	offs   []uint32
+	lens   []uint32
+	vals   []V
+	live   []bool
+	arena  []byte
+	mask   uint64
+	n      int
+}
+
+// NewByteMap returns a map pre-sized for hint entries.
+func NewByteMap[V any](hint int) *ByteMap[V] {
+	size := 16
+	for size < hint*2 {
+		size <<= 1
+	}
+	m := &ByteMap[V]{}
+	m.alloc(size)
+	return m
+}
+
+func (m *ByteMap[V]) alloc(size int) {
+	m.hashes = make([]uint64, size)
+	m.offs = make([]uint32, size)
+	m.lens = make([]uint32, size)
+	m.vals = make([]V, size)
+	m.live = make([]bool, size)
+	m.mask = uint64(size - 1)
+	m.n = 0
+}
+
+func (m *ByteMap[V]) keyAt(i uint64) []byte {
+	return m.arena[m.offs[i] : m.offs[i]+m.lens[i]]
+}
+
+// Get returns the value stored for key, if any. key may be a reused
+// scratch buffer; it is not retained.
+func (m *ByteMap[V]) Get(key []byte) (V, bool) {
+	h := HashBytes(key)
+	i := h & m.mask
+	for m.live[i] {
+		if m.hashes[i] == h && bytes.Equal(m.keyAt(i), key) {
+			return m.vals[i], true
+		}
+		i = (i + 1) & m.mask
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or replaces the value for key, copying the key into the
+// arena on first insert.
+func (m *ByteMap[V]) Put(key []byte, v V) {
+	if (m.n+1)*2 > len(m.live) {
+		m.grow()
+	}
+	h := HashBytes(key)
+	i := h & m.mask
+	for m.live[i] {
+		if m.hashes[i] == h && bytes.Equal(m.keyAt(i), key) {
+			m.vals[i] = v
+			return
+		}
+		i = (i + 1) & m.mask
+	}
+	m.live[i] = true
+	m.hashes[i] = h
+	m.offs[i] = uint32(len(m.arena))
+	m.lens[i] = uint32(len(key))
+	m.arena = append(m.arena, key...)
+	m.vals[i] = v
+	m.n++
+}
+
+func (m *ByteMap[V]) grow() {
+	oh, oo, ol, ov, olive := m.hashes, m.offs, m.lens, m.vals, m.live
+	arena := m.arena
+	m.alloc(len(olive) * 2)
+	m.arena = arena
+	for i, l := range olive {
+		if !l {
+			continue
+		}
+		j := oh[i] & m.mask
+		for m.live[j] {
+			j = (j + 1) & m.mask
+		}
+		m.live[j] = true
+		m.hashes[j] = oh[i]
+		m.offs[j] = oo[i]
+		m.lens[j] = ol[i]
+		m.vals[j] = ov[i]
+		m.n++
+	}
+}
+
+// Len returns the number of live entries.
+func (m *ByteMap[V]) Len() int { return m.n }

@@ -154,7 +154,24 @@ func (b *Buf) Free() {
 // nothing until (unless) its bytes are inspected.
 type Template struct {
 	data []byte
+	id   uint64
 }
+
+// templateIDs hands out process-unique template identities. Atomic so
+// templates may be built from any partition goroutine; the counter's order
+// is irrelevant — only uniqueness matters.
+var templateIDs atomic.Uint64
+
+// NewTemplate wraps data (which the caller must never mutate afterwards)
+// as a frame image with a fresh identity.
+func NewTemplate(data []byte) *Template {
+	return &Template{data: data, id: templateIDs.Add(1)}
+}
+
+// ID returns the template's process-unique, always-nonzero identity.
+// Frames sharing a template are byte-identical, so the switch data planes
+// key their classification memos on it.
+func (t *Template) ID() uint64 { return t.id }
 
 // Len returns the image's frame length.
 func (t *Template) Len() int { return len(t.data) }
@@ -175,7 +192,7 @@ func (t *Template) Derive(edit func(data []byte)) *Template {
 	data := make([]byte, len(t.data))
 	copy(data, t.data)
 	edit(data)
-	return &Template{data: data}
+	return NewTemplate(data)
 }
 
 // Pool is a free list of equal-capacity buffers. It grows on demand so that

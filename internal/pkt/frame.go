@@ -36,7 +36,7 @@ func (s FrameSpec) Template(flow int) *Template {
 	if flow != 0 {
 		patchFlowBytes(p, s, flow)
 	}
-	return &Template{data: p}
+	return NewTemplate(p)
 }
 
 // buildInto serializes the frame into p (len must be FrameLen).

@@ -231,16 +231,17 @@ func (q *QueueInc) run(sw *Switch, now units.Time, m *cost.Meter) bool {
 	}
 	m.ChargeNoisy(taskFixed+units.Cycles(n)*qincPerPkt, jitterFrac)
 	q.Packets += int64(n)
-	batch := make([]*pkt.Buf, n)
-	copy(batch, burst[:n])
+	// Hand the RX scratch slice straight down the pipeline: modules
+	// consume batches synchronously and none retains its input slice, so
+	// the per-run batch allocation the copy used to pay is gone.
 	if q.ogate == nil {
-		for _, b := range batch {
+		for _, b := range burst[:n] {
 			b.Free()
 		}
 		sw.Dropped += int64(n)
 		return true
 	}
-	q.ogate.ProcessBatch(sw, now, m, batch)
+	q.ogate.ProcessBatch(sw, now, m, burst[:n])
 	return true
 }
 

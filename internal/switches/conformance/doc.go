@@ -1,0 +1,9 @@
+// Package conformance cross-checks every registered switch data plane
+// through the uniform switchdef.Switch interface: per-switch Poll
+// microbenchmarks (BenchmarkSwitchPoll) and the reference-vs-memoized
+// equivalence suite, which drives randomized multi-flow traffic through
+// each switch with classification memoization on and off and requires
+// bit-identical observables. The package itself exports nothing; it
+// exists so every switch gets the same treatment without the switch
+// packages importing each other.
+package conformance

@@ -14,6 +14,7 @@ import (
 	"strconv"
 
 	"repro/internal/cost"
+	"repro/internal/flowtab"
 	"repro/internal/pkt"
 	"repro/internal/switches/switchdef"
 	"repro/internal/units"
@@ -274,12 +275,14 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 			per += vhostExtra
 		}
 		m.ChargeNoisy(elemBatchFixed+units.Cycles(n)*per, jitterFrac)
-		batch := make([]*pkt.Buf, n)
-		copy(batch, burst[:n])
+		// Push the RX scratch slice directly: the element graph consumes
+		// batches synchronously and no element retains its input slice
+		// (toDevice and queueElem copy elements into their own storage),
+		// so the per-poll batch allocation the copy used to pay is gone.
 		if next := src.out(0); next != nil {
-			next.Push(sw, now, m, batch)
+			next.Push(sw, now, m, burst[:n])
 		} else {
-			for _, b := range batch {
+			for _, b := range burst[:n] {
 				b.Free()
 			}
 			sw.Dropped += int64(n)
@@ -377,16 +380,39 @@ func (e *toDevice) flushStale(sw *Switch, now units.Time, m *cost.Meter) bool {
 	return true
 }
 
-// etherMirror swaps Ethernet source and destination in place.
-type etherMirror struct{ base }
+// etherMirror swaps Ethernet source and destination. Template-backed frames
+// stay lazy: the swap is applied once per distinct input template via
+// Derive, and subsequent frames just repoint at the mirrored image instead
+// of materializing.
+type etherMirror struct {
+	base
+	derived map[*pkt.Template]*pkt.Template
+}
+
+func mirrorEdit(data []byte) {
+	src, dst := pkt.EthSrc(data), pkt.EthDst(data)
+	pkt.SetEthSrc(data, dst)
+	pkt.SetEthDst(data, src)
+}
 
 func (e *etherMirror) Class() string { return "EtherMirror" }
 func (e *etherMirror) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
 	m.Charge(elemBatchFixed + units.Cycles(len(batch))*mirrorPerPkt)
+	noMemo := switchdef.MemoDisabled()
 	for _, b := range batch {
-		src, dst := pkt.EthSrc(b.Bytes()), pkt.EthDst(b.Bytes())
-		pkt.SetEthSrc(b.Bytes(), dst)
-		pkt.SetEthDst(b.Bytes(), src)
+		if t := b.Template(); t != nil && b.Len() == t.Len() && !noMemo {
+			d, ok := e.derived[t]
+			if !ok {
+				d = t.Derive(mirrorEdit)
+				if e.derived == nil {
+					e.derived = map[*pkt.Template]*pkt.Template{}
+				}
+				e.derived[t] = d
+			}
+			b.SetTemplate(d)
+			continue
+		}
+		mirrorEdit(b.Bytes())
 	}
 	if next := e.out(0); next != nil {
 		next.Push(sw, now, m, batch)
@@ -458,10 +484,15 @@ func (e *queueElem) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt
 }
 
 // classifier dispatches by byte patterns "offset/hexvalue", with "-" as the
-// catch-all, e.g. Classifier(12/0800, 12/0806, -).
+// catch-all, e.g. Classifier(12/0800, 12/0806, -). Patterns are immutable
+// after construction, so the matched output index is memoized per packet
+// template (-1 records "no pattern matched"); groups is the per-output
+// grouping scratch, reused across pushes.
 type classifier struct {
 	base
-	pats []classPattern
+	pats   []classPattern
+	memo   *flowtab.Map[uint64, int]
+	groups [][]*pkt.Buf
 }
 
 type classPattern struct {
@@ -474,7 +505,7 @@ func newClassifier(args []string) (*classifier, error) {
 	if len(args) == 0 {
 		return nil, fmt.Errorf("fastclick: Classifier needs patterns")
 	}
-	c := &classifier{}
+	c := &classifier{memo: flowtab.NewMap[uint64, int](16)}
 	for _, a := range args {
 		if a == "-" {
 			c.pats = append(c.pats, classPattern{catchAll: true})
@@ -502,23 +533,47 @@ func newClassifier(args []string) (*classifier, error) {
 }
 
 func (e *classifier) Class() string { return "Classifier" }
+
+// match returns the index of the first matching pattern, or -1.
+func (e *classifier) match(b *pkt.Buf) int {
+	for i, p := range e.pats {
+		if p.catchAll || matchAt(b.View(), p.offset, p.value) {
+			return i
+		}
+	}
+	return -1
+}
+
 func (e *classifier) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pkt.Buf) {
 	m.Charge(elemBatchFixed + units.Cycles(len(batch))*classifyPerPkt)
-	// Group per output to preserve batching.
-	groups := make([][]*pkt.Buf, len(e.pats))
+	// Group per output to preserve batching. The scratch is detached from
+	// the element while in use so a re-entrant Push (a configuration loop)
+	// falls back to a fresh allocation instead of clobbering it.
+	groups := e.groups
+	e.groups = nil
+	if cap(groups) < len(e.pats) {
+		groups = make([][]*pkt.Buf, len(e.pats))
+	}
+	groups = groups[:len(e.pats)]
+	noMemo := switchdef.MemoDisabled()
 	for _, b := range batch {
-		matched := false
-		for i, p := range e.pats {
-			if p.catchAll || matchAt(b.View(), p.offset, p.value) {
-				groups[i] = append(groups[i], b)
-				matched = true
-				break
+		var idx int
+		if t := b.Template(); t != nil && !noMemo {
+			id := t.ID()
+			var ok bool
+			if idx, ok = e.memo.Get(flowtab.HashUint64(id), id); !ok {
+				idx = e.match(b)
+				e.memo.Put(flowtab.HashUint64(id), id, idx)
 			}
+		} else {
+			idx = e.match(b)
 		}
-		if !matched {
+		if idx < 0 {
 			b.Free()
 			sw.Dropped++
+			continue
 		}
+		groups[idx] = append(groups[idx], b)
 	}
 	for i, g := range groups {
 		if len(g) == 0 {
@@ -533,6 +588,10 @@ func (e *classifier) Push(sw *Switch, now units.Time, m *cost.Meter, batch []*pk
 		}
 		sw.Dropped += int64(len(g))
 	}
+	for i := range groups {
+		groups[i] = groups[i][:0]
+	}
+	e.groups = groups
 }
 
 func matchAt(b []byte, off int, val []byte) bool {

@@ -21,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/cost"
+	"repro/internal/flowtab"
 	"repro/internal/l2"
 	"repro/internal/pkt"
 	"repro/internal/sim"
@@ -58,16 +59,51 @@ var vhostMod = cost.Modulation{
 	LowFactor: 0.97, LowDur: 800 * units.Microsecond,
 }
 
-type emcEntry struct {
-	key  packedKey
-	rule *Rule
-}
-
 type maskGroup struct {
 	mask    mask
 	maxPrio int
 	flows   map[packedKey]*Rule
 }
+
+// megaEntry is one megaflow-cache decision plus the mask that produced it
+// (the old separate megaOf map, folded in so a probe is one table access).
+type megaEntry struct {
+	rule *Rule
+	mk   mask
+}
+
+// memoKey identifies one classification decision: frames sharing a
+// template are byte-identical, so (template, in_port) determines the full
+// flow key and therefore the entire lookup outcome.
+type memoKey struct {
+	tmpl uint64
+	port int32
+}
+
+// Memo entry kinds: what the per-frame reference path would do for the
+// next frame of this (template, port), recorded right after classify ran.
+const (
+	memoEMCHit  uint8 = iota + 1 // EMC probe hits (EMC enabled)
+	memoMegaHit                  // megaflow walk hits (EMC disabled)
+	memoNoMatch                  // full walk misses; frame dropped
+)
+
+// memoEntry is a recorded charge script: the exact simulated cycles the
+// reference classify path charges for a repeat frame, plus the counter
+// side effects to replay. Valid only while gen matches the switch's
+// cacheGen — any table or cache mutation invalidates every memo.
+type memoEntry struct {
+	gen    uint64
+	cycles units.Cycles
+	kind   uint8
+	rule   *Rule
+}
+
+func memoHash(k memoKey) uint64 {
+	return flowtab.HashUint64(k.tmpl ^ uint64(uint32(k.port))<<32)
+}
+
+func keyHash(k *packedKey) uint64 { return flowtab.HashBytes(k[:]) }
 
 // Switch is an OvS-DPDK instance.
 type Switch struct {
@@ -83,24 +119,34 @@ type Switch struct {
 	rules  []*Rule
 	groups []*maskGroup // tuple-space, sorted by maxPrio desc
 
-	emc map[packedKey]emcEntry
+	// emc is the exact-match cache: set-associative, fixed capacity,
+	// deterministic clock-hand eviction (the map it replaced evicted by
+	// randomized iteration, making overflow workloads run-dependent).
+	emc *flowtab.Cache[packedKey, *Rule]
 	// The megaflow cache. Entries are installed by the slow path under
 	// an "unwildcarded" mask — the union of every subtable mask that
 	// could have decided the packet — so cached decisions can never
 	// shadow a higher-priority rule (OvS's correctness invariant).
-	mega      map[packedKey]*Rule
-	megaOf    map[packedKey]mask // which mask produced the entry
-	megaMasks []mask             // distinct installed megaflow masks
-	mac       *l2.MACTable       // for the NORMAL action
+	mega      *flowtab.Map[packedKey, megaEntry]
+	megaMasks []mask       // distinct installed megaflow masks
+	mac       *l2.MACTable // for the NORMAL action
 	nextRev   units.Time
 	hasVhost  bool
 	noEMC     bool
+
+	// memo caches classification decisions by (template, in_port); see
+	// memoEntry. cacheGen invalidates it wholesale on any mutation of the
+	// rule table, megaflow cache, EMC membership, or the EMC knob.
+	memo     *flowtab.Map[memoKey, memoEntry]
+	cacheGen uint64
 
 	txStage [][]*pkt.Buf
 
 	// Stats.
 	EMCHits, MegaHits, SlowHits, NoMatch int64
 	Forwarded, Dropped                   int64
+	// EMCEvictions counts clock-hand replacements of live EMC entries.
+	EMCEvictions int64
 }
 
 var info = switchdef.Info{
@@ -122,12 +168,12 @@ var info = switchdef.Info{
 // New returns an OvS instance with an empty flow table.
 func New(env switchdef.Env) *Switch {
 	return &Switch{
-		env:    env,
-		rng:    env.RNG.Derive("ovs"),
-		emc:    make(map[packedKey]emcEntry, EMCCapacity),
-		mega:   map[packedKey]*Rule{},
-		megaOf: map[packedKey]mask{},
-		mac:    l2.NewMACTable(4096, 0),
+		env:  env,
+		rng:  env.RNG.Derive("ovs"),
+		emc:  flowtab.NewCache[packedKey, *Rule](EMCCapacity),
+		mega: flowtab.NewMap[packedKey, megaEntry](64),
+		memo: flowtab.NewMap[memoKey, memoEntry](16),
+		mac:  l2.NewMACTable(4096, 0),
 	}
 }
 
@@ -170,10 +216,10 @@ func (sw *Switch) DelFlows() {
 }
 
 func (sw *Switch) invalidateCaches() {
-	sw.emc = make(map[packedKey]emcEntry, EMCCapacity)
-	sw.mega = map[packedKey]*Rule{}
-	sw.megaOf = map[packedKey]mask{}
+	sw.emc.Reset()
+	sw.mega.Reset()
 	sw.megaMasks = nil
+	sw.cacheGen++
 }
 
 func (sw *Switch) rebuildGroups() {
@@ -211,27 +257,29 @@ func (sw *Switch) CrossConnect(a, b int) error {
 }
 
 // classify finds the rule for a key, exercising EMC → megaflow → slow path,
-// charging lookup costs as it goes.
+// charging lookup costs as it goes. This is the per-frame reference path;
+// the memoized fast path (Poll) must replay exactly the charges and
+// counter increments a repeat frame would collect here.
 func (sw *Switch) classify(now units.Time, m *cost.Meter, key FlowKey) *Rule {
 	full := key.pack()
 	if !sw.noEMC {
 		m.Charge(m.Model.HashLookup)
-		if e, ok := sw.emc[full]; ok && e.key == full {
+		if r, ok := sw.emc.Get(keyHash(&full), full); ok {
 			sw.EMCHits++
 			m.Charge(emcHitPerPkt)
-			e.rule.Hits++
-			return e.rule
+			r.Hits++
+			return r
 		}
 	}
 	// Megaflow (tuple space) tier: probe each installed megaflow mask.
 	for _, mk := range sw.megaMasks {
 		masked := mk.apply(full)
 		m.Charge(m.Model.HashLookup + megaflowExtra)
-		if r, ok := sw.mega[masked]; ok && sw.megaOf[masked] == mk {
+		if e, ok := sw.mega.Get(keyHash(&masked), masked); ok && e.mk == mk {
 			sw.MegaHits++
-			r.Hits++
-			sw.installEMC(full, r)
-			return r
+			e.rule.Hits++
+			sw.installEMC(full, e.rule)
+			return e.rule
 		}
 	}
 	// Slow path: full tuple-space search over the OpenFlow table.
@@ -279,26 +327,30 @@ func (sw *Switch) installMegaflow(full packedKey, best *Rule) {
 	if !known {
 		sw.megaMasks = append(sw.megaMasks, union)
 	}
-	sw.mega[masked] = best
-	sw.megaOf[masked] = union
+	sw.mega.Put(keyHash(&masked), masked, megaEntry{rule: best, mk: union})
+	// A new megaflow entry (or mask) can change a later frame's probe
+	// sequence or outcome — every recorded memo is stale.
+	sw.cacheGen++
 }
 
 // SetEMC enables or disables the exact-match cache (the
 // other_config:emc-insert-inv-prob=0 ablation).
-func (sw *Switch) SetEMC(enabled bool) { sw.noEMC = !enabled }
+func (sw *Switch) SetEMC(enabled bool) {
+	sw.noEMC = !enabled
+	sw.cacheGen++
+}
 
 func (sw *Switch) installEMC(full packedKey, r *Rule) {
 	if sw.noEMC {
 		return
 	}
-	if len(sw.emc) >= EMCCapacity {
-		// Random eviction, like OvS's probabilistic EMC replacement.
-		for k := range sw.emc {
-			delete(sw.emc, k)
-			break
-		}
+	if sw.emc.Put(keyHash(&full), full, r) {
+		// Clock-hand eviction of a live entry: some memoized EMC-hit
+		// script may now be wrong, so invalidate them all. Refreshing an
+		// existing key changes nothing and keeps memos valid.
+		sw.EMCEvictions++
+		sw.cacheGen++
 	}
-	sw.emc[full] = emcEntry{key: full, rule: r}
 }
 
 // Poll implements switchdef.Switch: one PMD thread iteration over every
@@ -313,6 +365,14 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 		m.Stall(revalStall)
 		sw.nextRev = now + revalInterval
 	}
+	// The modulation factor depends only on now, which is constant for
+	// the whole poll — hoisted out of the per-burst loop.
+	factor := 1.0
+	if sw.hasVhost {
+		factor = vhostMod.Factor(now)
+	}
+	perPkt := units.Cycles(float64(parsePerPkt+perPktOverhead) * factor)
+	noMemo := switchdef.MemoDisabled()
 	burst := &sw.rxScratch
 	did := false
 	for i := range sw.ports {
@@ -322,14 +382,27 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 			continue
 		}
 		did = true
-		factor := 1.0
-		if sw.hasVhost {
-			factor = vhostMod.Factor(now)
-		}
+		// One noisy draw per frame, batched into a single charge; the
+		// classify path below draws nothing, so the RNG stream is
+		// consumed exactly as the per-frame order did.
+		m.ChargeNoisyBatch(perPkt, jitterFrac, n)
 		for _, b := range burst[:n] {
-			m.ChargeNoisy(units.Cycles(float64(parsePerPkt+perPktOverhead)*factor), jitterFrac)
+			if !noMemo {
+				if t := b.Template(); t != nil {
+					k := memoKey{tmpl: t.ID(), port: int32(i)}
+					if e, ok := sw.memo.Get(memoHash(k), k); ok && e.gen == sw.cacheGen {
+						sw.replayMemo(now, m, b, i, e)
+						continue
+					}
+				}
+			}
 			key := extractKey(b, i)
 			rule := sw.classify(now, m, key)
+			if !noMemo {
+				if t := b.Template(); t != nil {
+					sw.recordMemo(t, i, key, rule)
+				}
+			}
 			if rule == nil {
 				b.Free()
 				sw.Dropped++
@@ -350,6 +423,93 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 		sw.txStage[i] = stage[:0]
 	}
 	return did
+}
+
+// replayMemo executes a recorded charge script: the identical simulated
+// cycles and counters the reference classify path produces for a repeat
+// frame, without extracting, packing, or probing anything.
+func (sw *Switch) replayMemo(now units.Time, m *cost.Meter, b *pkt.Buf, inPort int, e memoEntry) {
+	m.Charge(e.cycles)
+	switch e.kind {
+	case memoEMCHit:
+		sw.EMCHits++
+	case memoMegaHit:
+		sw.MegaHits++
+	case memoNoMatch:
+		sw.NoMatch++
+		b.Free()
+		sw.Dropped++
+		return
+	}
+	e.rule.Hits++
+	// apply never reads the key except for ActNormal, which recordMemo
+	// refuses to memoize (MAC learning is a per-frame side effect).
+	sw.apply(now, m, b, inPort, FlowKey{}, e.rule)
+}
+
+// recordMemo captures what the reference path will do for the *next* frame
+// of this (template, in_port), given the caches classify just left behind.
+// Rules with a NORMAL action are never memoized: MAC learning must see
+// every frame. The entry stays valid while cacheGen is unchanged.
+func (sw *Switch) recordMemo(t *pkt.Template, inPort int, key FlowKey, rule *Rule) {
+	e := memoEntry{gen: sw.cacheGen}
+	switch {
+	case rule == nil:
+		// Repeat frames re-walk every tier and drop.
+		e.kind = memoNoMatch
+		if !sw.noEMC {
+			e.cycles += sw.env.Model.HashLookup
+		}
+		e.cycles += units.Cycles(len(sw.megaMasks)) * (sw.env.Model.HashLookup + megaflowExtra)
+		e.cycles += slowPathCost
+	case ruleMemoizable(rule):
+		e.rule = rule
+		full := key.pack()
+		if !sw.noEMC {
+			// classify just installed (or refreshed) the EMC entry, so
+			// the next frame is an EMC hit.
+			if r, ok := sw.emc.Get(keyHash(&full), full); !ok || r != rule {
+				return
+			}
+			e.kind = memoEMCHit
+			e.cycles = sw.env.Model.HashLookup + emcHitPerPkt
+		} else {
+			// EMC disabled: the next frame re-walks the megaflow masks
+			// in order until the installed entry hits.
+			found := false
+			for _, mk := range sw.megaMasks {
+				e.cycles += sw.env.Model.HashLookup + megaflowExtra
+				masked := mk.apply(full)
+				if me, ok := sw.mega.Get(keyHash(&masked), masked); ok && me.mk == mk {
+					if me.rule != rule {
+						return
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				return
+			}
+			e.kind = memoMegaHit
+		}
+	default:
+		return
+	}
+	k := memoKey{tmpl: t.ID(), port: int32(inPort)}
+	sw.memo.Put(memoHash(k), k, e)
+}
+
+// ruleMemoizable reports whether a rule's actions are a pure function of
+// (template, in_port) — everything except NORMAL, whose MAC learn/lookup
+// must run per frame.
+func ruleMemoizable(r *Rule) bool {
+	for _, a := range r.Actions {
+		if a.Kind == ActNormal {
+			return false
+		}
+	}
+	return true
 }
 
 func (sw *Switch) apply(now units.Time, m *cost.Meter, b *pkt.Buf, inPort int, key FlowKey, r *Rule) {

@@ -93,6 +93,13 @@ type Switch struct {
 	now     units.Time
 	pktSeen int64
 
+	// jit and gcFactor are the LuaJIT multiplier and GC-phase factor for
+	// the breath in progress: now is fixed for the whole breath and
+	// pktSeen only advances at its end, so both are breath constants,
+	// resolved once in Poll instead of per app run.
+	jit      float64
+	gcFactor float64
+
 	// Forwarded and Dropped count data-plane outcomes.
 	Forwarded, Dropped int64
 }
@@ -138,7 +145,7 @@ func (sw *Switch) jitScale() float64 {
 
 func (sw *Switch) chargeApp(m *cost.Meter, perPkt units.Cycles, n int) {
 	c := appRunFixed + units.Cycles(n)*perPkt
-	m.ChargeNoisy(gcMod.Scale(sw.now, units.Cycles(float64(c)*sw.jitScale())), jitterFrac)
+	m.ChargeNoisy(cost.ScaleBy(sw.gcFactor, units.Cycles(float64(c)*sw.jit)), jitterFrac)
 }
 
 // NewLink creates a named inter-app link (config.link).
@@ -188,6 +195,8 @@ var gcMod = cost.Modulation{
 // scaling model, one engine process per core — see internal/multicore.
 func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 	sw.now = now
+	sw.jit = sw.jitScale()
+	sw.gcFactor = gcMod.Factor(now)
 	m.Charge(breathFixed)
 	worked := 0
 	for _, a := range sw.apps {

@@ -15,10 +15,10 @@
 package t4p4s
 
 import (
-	"encoding/binary"
 	"fmt"
 
 	"repro/internal/cost"
+	"repro/internal/flowtab"
 	"repro/internal/pkt"
 	"repro/internal/switches/switchdef"
 	"repro/internal/units"
@@ -63,32 +63,33 @@ type parsedHeaders struct {
 	ethDirt bool // headers modified; deparser must write back
 }
 
-func (h *parsedHeaders) field(f FieldID) []byte {
-	switch f {
-	case FieldEthDst:
-		return h.eth.Dst[:]
-	case FieldEthSrc:
-		return h.eth.Src[:]
-	case FieldEthType:
-		var b [2]byte
-		binary.BigEndian.PutUint16(b[:], h.eth.EtherType)
-		return b[:]
-	case FieldIPSrc:
-		return h.ip.Src[:]
-	case FieldIPDst:
-		return h.ip.Dst[:]
-	case FieldIPProto:
-		return []byte{h.ip.Proto}
-	case FieldL4Src:
-		var b [2]byte
-		binary.BigEndian.PutUint16(b[:], h.udp.SrcPort)
-		return b[:]
-	case FieldL4Dst:
-		var b [2]byte
-		binary.BigEndian.PutUint16(b[:], h.udp.DstPort)
-		return b[:]
+// appendKey appends the table's concatenated key fields to dst (a reused
+// scratch buffer), replacing the old per-frame string build that cost two
+// heap allocations per table per packet.
+func (t *Table) appendKey(dst []byte, h *parsedHeaders) []byte {
+	for _, f := range t.Key {
+		switch f {
+		case FieldEthDst:
+			dst = append(dst, h.eth.Dst[:]...)
+		case FieldEthSrc:
+			dst = append(dst, h.eth.Src[:]...)
+		case FieldEthType:
+			dst = append(dst, byte(h.eth.EtherType>>8), byte(h.eth.EtherType))
+		case FieldIPSrc:
+			dst = append(dst, h.ip.Src[:]...)
+		case FieldIPDst:
+			dst = append(dst, h.ip.Dst[:]...)
+		case FieldIPProto:
+			dst = append(dst, h.ip.Proto)
+		case FieldL4Src:
+			dst = append(dst, byte(h.udp.SrcPort>>8), byte(h.udp.SrcPort))
+		case FieldL4Dst:
+			dst = append(dst, byte(h.udp.DstPort>>8), byte(h.udp.DstPort))
+		default:
+			panic("t4p4s: unknown field")
+		}
 	}
-	panic("t4p4s: unknown field")
+	return dst
 }
 
 // ActionID selects a table action.
@@ -110,35 +111,34 @@ type Entry struct {
 }
 
 // Table is one match/action table (exact by default; see SetKind for LPM
-// and ternary).
+// and ternary). Exact entries live in an open-addressed byte-keyed map;
+// keyBuf is the per-lookup key scratch (each lcore owns its tables, so a
+// single scratch per table is race-free). version counts output-visible
+// mutations and invalidates memoized pipeline traversals.
 type Table struct {
 	Name    string
 	Key     []FieldID
 	kind    MatchKind
-	entries map[string]Entry
+	entries *flowtab.ByteMap[Entry]
 	lpm     []lpmEntry
 	tern    []ternEntry
 	Default Entry
+
+	keyBuf  []byte
+	version uint64
 
 	Hits, Misses int64
 }
 
 // NewTable creates an exact-match table with a default (miss) entry.
 func NewTable(name string, key []FieldID, def Entry) *Table {
-	return &Table{Name: name, Key: key, entries: map[string]Entry{}, Default: def}
-}
-
-func (t *Table) keyOf(h *parsedHeaders) string {
-	var k []byte
-	for _, f := range t.Key {
-		k = append(k, h.field(f)...)
-	}
-	return string(k)
+	return &Table{Name: name, Key: key, entries: flowtab.NewByteMap[Entry](8), Default: def}
 }
 
 // Add installs an entry keyed by the concatenated field values.
 func (t *Table) Add(keyBytes []byte, e Entry) {
-	t.entries[string(keyBytes)] = e
+	t.entries.Put(keyBytes, e)
+	t.version++
 }
 
 // Switch is a t4p4s instance running a compiled P4 program.
@@ -155,8 +155,47 @@ type Switch struct {
 	txStage [][]*pkt.Buf
 	txFirst []units.Time
 
+	// memo caches the full pipeline traversal per packet template: the
+	// match/action stages read only frame bytes, so every frame sharing a
+	// template takes the same path and charges the same deterministic table
+	// cycles (the parse and deparse draws stay per-frame). Entries carry
+	// the program and table generations they were recorded under.
+	memo        *flowtab.Map[uint64, t4Memo]
+	progGen     uint64
+	bumpScratch []*int64
+
 	// Forwarded and Dropped count data-plane outcomes.
 	Forwarded, Dropped int64
+}
+
+// t4Memo outcome kinds.
+const (
+	t4Forward          uint8 = iota + 1
+	t4DropNoDeparse          // dropped before the deparser draw (parse error or ActDrop)
+	t4DropAfterDeparse       // deparsed, then no valid output port
+)
+
+// t4Memo is one recorded pipeline traversal: the deterministic table
+// cycles to charge in one batch, the hit/miss counters to bump, and the
+// outcome. Frames whose traversal rewrites the packet (ActSetDstMAC) are
+// never memoized.
+type t4Memo struct {
+	prog   uint64
+	tabVer uint64
+	cycles units.Cycles
+	bump   []*int64
+	out    int32
+	kind   uint8
+}
+
+// tabVer sums the tables' mutation counters; any Add/AddLPM/AddTernary/
+// SetKind bumps it, invalidating recorded traversals.
+func (sw *Switch) tabVer() uint64 {
+	var v uint64
+	for _, t := range sw.tables {
+		v += t.version
+	}
+	return v
 }
 
 // The t4p4s HAL buffers transmissions aggressively: frames leave when a
@@ -196,7 +235,7 @@ var info = switchdef.Info{
 // New returns a t4p4s instance loaded with the l2fwd program (an empty
 // dmac table; entries are installed by CrossConnect or AddL2Entry).
 func New(env switchdef.Env) *Switch {
-	sw := &Switch{env: env}
+	sw := &Switch{env: env, memo: flowtab.NewMap[uint64, t4Memo](16)}
 	sw.tables = append(sw.tables, NewTable("dmac", []FieldID{FieldEthDst}, Entry{Action: ActDrop}))
 	return sw
 }
@@ -239,6 +278,9 @@ func (sw *Switch) CrossConnect(a, b int) error {
 // (private match/action tables) — see internal/multicore.
 func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 	burst := &sw.rxScratch
+	// now is constant for the whole poll, so the pipeline modulation
+	// factor is too: resolve it once instead of per frame.
+	pf := pipeMod.Factor(now)
 	did := false
 	for i := range sw.ports {
 		p := sw.ports[i]
@@ -254,7 +296,7 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 			m.Charge(units.Cycles(n) * 118)
 		}
 		for _, b := range burst[:n] {
-			sw.process(now, m, i, b)
+			sw.process(now, m, b, pf)
 		}
 	}
 	for i := range sw.ports {
@@ -278,15 +320,39 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 	return did
 }
 
-func (sw *Switch) process(now units.Time, m *cost.Meter, inPort int, b *pkt.Buf) {
+func (sw *Switch) process(now units.Time, m *cost.Meter, b *pkt.Buf, pf float64) {
+	perByte := pipePerByteMilli * units.Cycles(b.Len()) / 1000
+	parseCost := cost.ScaleBy(pf, parseFixed+halPerPkt+perByte)
+
+	var memoID uint64
+	var tabVer uint64
+	recording := false
+	if !switchdef.MemoDisabled() {
+		if t := b.Template(); t != nil {
+			memoID = t.ID()
+			tabVer = sw.tabVer()
+			if e, ok := sw.memo.Get(flowtab.HashUint64(memoID), memoID); ok &&
+				e.prog == sw.progGen && e.tabVer == tabVer {
+				sw.replayMemo(now, m, b, &e, parseCost)
+				return
+			}
+			recording = true
+			sw.bumpScratch = sw.bumpScratch[:0]
+		}
+	}
+	rec := t4Memo{prog: sw.progGen, tabVer: tabVer}
+
 	// Parser (read-only; the deparser materializes if it must write).
 	data := b.View()
 	var h parsedHeaders
 	var err error
 	h.eth, err = pkt.ParseEth(data)
-	perByte := pipePerByteMilli * units.Cycles(b.Len()) / 1000
-	m.ChargeNoisy(pipeMod.Scale(now, parseFixed+halPerPkt+perByte), jitterFrac)
+	m.ChargeNoisy(parseCost, jitterFrac)
 	if err != nil {
+		if recording {
+			rec.kind = t4DropNoDeparse
+			sw.commitMemo(memoID, rec)
+		}
 		b.Free()
 		sw.Dropped++
 		return
@@ -306,9 +372,22 @@ func (sw *Switch) process(now units.Time, m *cost.Meter, inPort int, b *pkt.Buf)
 	out := -1
 	for _, t := range sw.tables {
 		m.Charge(m.Model.HashLookup + tablePerLookup)
-		e := t.lookup([]byte(t.keyOf(&h)))
+		t.keyBuf = t.appendKey(t.keyBuf[:0], &h)
+		e, hit := t.lookup(t.keyBuf)
+		if recording {
+			rec.cycles += m.Model.HashLookup + tablePerLookup
+			if hit {
+				sw.bumpScratch = append(sw.bumpScratch, &t.Hits)
+			} else {
+				sw.bumpScratch = append(sw.bumpScratch, &t.Misses)
+			}
+		}
 		switch e.Action {
 		case ActDrop:
+			if recording {
+				rec.kind = t4DropNoDeparse
+				sw.commitMemo(memoID, rec)
+			}
 			b.Free()
 			sw.Dropped++
 			return
@@ -317,6 +396,9 @@ func (sw *Switch) process(now units.Time, m *cost.Meter, inPort int, b *pkt.Buf)
 		case ActSetDstMAC:
 			h.eth.Dst = e.MAC
 			h.ethDirt = true
+			// The deparser will rewrite the frame bytes, detaching it
+			// from its template: this traversal is not replayable.
+			recording = false
 			if e.Port >= 0 {
 				out = e.Port
 			}
@@ -330,10 +412,52 @@ func (sw *Switch) process(now units.Time, m *cost.Meter, inPort int, b *pkt.Buf)
 		h.eth.Put(b.Bytes())
 	}
 	if out < 0 || out >= len(sw.ports) {
+		if recording {
+			rec.kind = t4DropAfterDeparse
+			sw.commitMemo(memoID, rec)
+		}
 		b.Free()
 		sw.Dropped++
 		return
 	}
+	if recording {
+		rec.kind = t4Forward
+		rec.out = int32(out)
+		sw.commitMemo(memoID, rec)
+	}
+	if len(sw.txStage[out]) == 0 {
+		sw.txFirst[out] = now
+	}
+	sw.txStage[out] = append(sw.txStage[out], b)
+}
+
+func (sw *Switch) commitMemo(id uint64, e t4Memo) {
+	e.bump = append([]*int64(nil), sw.bumpScratch...)
+	sw.memo.Put(flowtab.HashUint64(id), id, e)
+}
+
+// replayMemo re-runs a recorded traversal: the per-frame parse draw, the
+// batched deterministic table charges, the counter bumps, and — only for
+// traversals that reached the deparser — the per-frame deparse draw. The
+// charge and RNG-draw sequence is identical to the reference path's.
+func (sw *Switch) replayMemo(now units.Time, m *cost.Meter, b *pkt.Buf, e *t4Memo, parseCost units.Cycles) {
+	m.ChargeNoisy(parseCost, jitterFrac)
+	m.Charge(e.cycles)
+	for _, c := range e.bump {
+		*c++
+	}
+	if e.kind == t4DropNoDeparse {
+		b.Free()
+		sw.Dropped++
+		return
+	}
+	m.ChargeNoisy(deparseFixed, jitterFrac)
+	if e.kind == t4DropAfterDeparse {
+		b.Free()
+		sw.Dropped++
+		return
+	}
+	out := int(e.out)
 	if len(sw.txStage[out]) == 0 {
 		sw.txFirst[out] = now
 	}

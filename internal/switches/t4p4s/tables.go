@@ -55,6 +55,7 @@ type ternEntry struct {
 // added).
 func (t *Table) SetKind(k MatchKind) *Table {
 	t.kind = k
+	t.version++
 	return t
 }
 
@@ -72,6 +73,7 @@ func (t *Table) AddLPM(keyBytes []byte, plen int, e Entry) error {
 	v := append([]byte(nil), keyBytes...)
 	maskBits(v, plen)
 	t.lpm = append(t.lpm, lpmEntry{value: v, plen: plen, entry: e})
+	t.version++
 	return nil
 }
 
@@ -90,6 +92,7 @@ func (t *Table) AddTernary(value, mask []byte, priority int, e Entry) error {
 		v[i] &= m[i]
 	}
 	t.tern = append(t.tern, ternEntry{value: v, mask: m, priority: priority, entry: e})
+	t.version++
 	return nil
 }
 
@@ -108,12 +111,14 @@ func maskBits(b []byte, plen int) {
 }
 
 // lookup resolves the entry for the given key bytes under the table's kind.
-func (t *Table) lookup(key []byte) Entry {
+// The second result reports whether an installed entry matched (false means
+// the default entry was returned).
+func (t *Table) lookup(key []byte) (Entry, bool) {
 	switch t.kind {
 	case MatchExact:
-		if e, ok := t.entries[string(key)]; ok {
+		if e, ok := t.entries.Get(key); ok {
 			t.Hits++
-			return e
+			return e, true
 		}
 	case MatchLPM:
 		best, bestLen := Entry{}, -1
@@ -127,7 +132,7 @@ func (t *Table) lookup(key []byte) Entry {
 		}
 		if bestLen >= 0 {
 			t.Hits++
-			return best
+			return best, true
 		}
 	case MatchTernary:
 		var best *ternEntry
@@ -142,11 +147,11 @@ func (t *Table) lookup(key []byte) Entry {
 		}
 		if best != nil {
 			t.Hits++
-			return best.entry
+			return best.entry, true
 		}
 	}
 	t.Misses++
-	return t.Default
+	return t.Default, false
 }
 
 func prefixMatch(key, value []byte, plen int) bool {
@@ -270,6 +275,9 @@ func (sw *Switch) LoadProgram(src string) error {
 		return fmt.Errorf("t4p4s: empty program")
 	}
 	sw.tables = tables
+	// Fresh tables restart their version counters at whatever the
+	// directives above left them; the program generation disambiguates.
+	sw.progGen++
 	return nil
 }
 

@@ -19,13 +19,13 @@ func TestLPMTableLongestPrefixWins(t *testing.T) {
 	if err := tb.AddLPM([]byte{10, 1, 0, 0}, 16, Entry{Action: ActForward, Port: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if got := tb.lookup([]byte{10, 1, 9, 9}); got.Port != 2 {
+	if got, _ := tb.lookup([]byte{10, 1, 9, 9}); got.Port != 2 {
 		t.Fatalf("lookup = %+v", got)
 	}
-	if got := tb.lookup([]byte{10, 9, 9, 9}); got.Port != 1 {
+	if got, _ := tb.lookup([]byte{10, 9, 9, 9}); got.Port != 1 {
 		t.Fatalf("lookup = %+v", got)
 	}
-	if got := tb.lookup([]byte{11, 0, 0, 1}); got.Action != ActDrop {
+	if got, _ := tb.lookup([]byte{11, 0, 0, 1}); got.Action != ActDrop {
 		t.Fatalf("miss = %+v", got)
 	}
 	if tb.Hits != 2 || tb.Misses != 1 {
@@ -43,10 +43,10 @@ func TestTernaryPriority(t *testing.T) {
 	if err := tb.AddTernary([]byte{0x00, 0x51}, []byte{0xff, 0xff}, 10, Entry{Action: ActForward, Port: 2}); err != nil {
 		t.Fatal(err)
 	}
-	if got := tb.lookup([]byte{0x00, 0x52}); got.Port != 1 {
+	if got, _ := tb.lookup([]byte{0x00, 0x52}); got.Port != 1 {
 		t.Fatalf("range entry = %+v", got)
 	}
-	if got := tb.lookup([]byte{0x00, 0x51}); got.Port != 2 {
+	if got, _ := tb.lookup([]byte{0x00, 0x51}); got.Port != 2 {
 		t.Fatalf("priority entry = %+v", got)
 	}
 }
@@ -112,7 +112,7 @@ func TestPropertyLPMMatchesBruteForce(t *testing.T) {
 					want, wantLen = r.port, r.plen
 				}
 			}
-			if got := tb.lookup(key[:]); got.Port != want {
+			if got, _ := tb.lookup(key[:]); got.Port != want {
 				return false
 			}
 		}

@@ -62,6 +62,9 @@ type Switch struct {
 	// stack array handed through the DevPort interface escapes, which
 	// costs one heap allocation per poll.
 	rxScratch [Burst]*pkt.Buf
+	// txScratch is the single-frame transmit slice deliver reuses; ports
+	// do not retain their TxBurst argument.
+	txScratch [1]*pkt.Buf
 
 	env     switchdef.Env
 	ports   []switchdef.DevPort
@@ -149,16 +152,24 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 	return did
 }
 
-// chargeIngress prices the NIC-side receive work for a batch.
+// chargeIngress prices the NIC-side receive work for a batch. Frames with
+// equal cost are charged through one batched call (same per-frame RNG draws,
+// fewer meter crossings); the physical-port cost is length-dependent, so
+// runs of equal-length frames batch together.
 func (sw *Switch) chargeIngress(m *cost.Meter, dev switchdef.DevPort, batch []*pkt.Buf) {
-	for _, b := range batch {
-		c := units.Cycles(0)
-		if dev.Kind() == switchdef.PhysKind {
-			c += physPerPkt + physFixedPerPkt + physPerByteMilli*units.Cycles(b.Len())/1000
-		} else {
-			c += ptnetPerPkt
+	if dev.Kind() != switchdef.PhysKind {
+		m.ChargeNoisyBatch(ptnetPerPkt, jitterFrac, len(batch))
+		return
+	}
+	for i := 0; i < len(batch); {
+		l := batch[i].Len()
+		j := i + 1
+		for j < len(batch) && batch[j].Len() == l {
+			j++
 		}
-		m.ChargeNoisy(c, jitterFrac)
+		c := physPerPkt + physFixedPerPkt + physPerByteMilli*units.Cycles(l)/1000
+		m.ChargeNoisyBatch(c, jitterFrac, j-i)
+		i = j
 	}
 }
 
@@ -215,7 +226,8 @@ func (sw *Switch) deliver(br *Bridge, now units.Time, m *cost.Meter, b *pkt.Buf,
 	} else {
 		m.Charge(ptnetPerPkt)
 	}
-	if dev.TxBurst(now, m, []*pkt.Buf{out}) == 1 {
+	sw.txScratch[0] = out
+	if dev.TxBurst(now, m, sw.txScratch[:]) == 1 {
 		sw.Forwarded++
 	} else {
 		sw.Dropped++

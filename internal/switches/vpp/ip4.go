@@ -111,23 +111,23 @@ func (ip4InputNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, 
 	for _, b := range v {
 		data := b.View()
 		if len(data) < pkt.EthHdrLen+pkt.IPv4HdrLen {
-			sw.enqueue1("error-drop", ctx, b)
+			sw.enqueue1(nodeDrop, ctx, b)
 			continue
 		}
 		eth, err := pkt.ParseEth(data)
 		if err != nil || eth.EtherType != pkt.EtherTypeIPv4 {
-			sw.enqueue1("error-drop", ctx, b)
+			sw.enqueue1(nodeDrop, ctx, b)
 			continue
 		}
 		ip, err := pkt.ParseIPv4(data[pkt.EthHdrLen:])
 		if err != nil || ip.TTL <= 1 {
-			sw.enqueue1("error-drop", ctx, b)
+			sw.enqueue1(nodeDrop, ctx, b)
 			continue
 		}
 		keep = append(keep, b)
 	}
 	if len(keep) > 0 {
-		sw.enqueue("ip4-lookup", ctx, keep)
+		sw.enqueue(nodeIP4Lookup, ctx, keep)
 	}
 }
 
@@ -141,10 +141,10 @@ func (ip4LookupNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int,
 		ip, _ := pkt.ParseIPv4(b.View()[pkt.EthHdrLen:])
 		leaf := l3.fib.Lookup(ip.Dst)
 		if leaf == 0 {
-			sw.enqueue1("error-drop", ctx, b)
+			sw.enqueue1(nodeDrop, ctx, b)
 			continue
 		}
-		sw.enqueue1("ip4-rewrite", int(leaf-1), b)
+		sw.enqueue1(nodeIP4Rewrite, int(leaf-1), b)
 	}
 }
 
@@ -155,7 +155,7 @@ func (ip4RewriteNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int
 	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*ip4RewritePerPkt, costJitterFrac)
 	l3 := sw.ip4()
 	if ctx < 0 || ctx >= len(l3.adjs) {
-		sw.enqueue("error-drop", 0, v)
+		sw.enqueue(nodeDrop, 0, v)
 		return
 	}
 	adj := l3.adjs[ctx]
@@ -167,5 +167,5 @@ func (ip4RewriteNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int
 		ip.TTL--
 		ip.Put(data[pkt.EthHdrLen:]) // re-serialize with fresh checksum
 	}
-	sw.enqueue("interface-output", adj.port, v)
+	sw.enqueue(nodeOutput, adj.port, v)
 }

@@ -43,13 +43,31 @@ const (
 type Node interface {
 	Name() string
 	// Process handles a vector arriving with the given context (port
-	// index for port-scoped nodes).
+	// index for port-scoped nodes; adjacency index for ip4-rewrite).
 	Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf)
 }
 
-type pendingKey struct {
-	node string
-	ctx  int
+// Dense node identities, in registration order. Per-packet enqueues index
+// an array with these instead of hashing a (name, ctx) map key.
+const (
+	nodeL2Patch = iota
+	nodeEthInput
+	nodeL2Learn
+	nodeL2Fwd
+	nodeOutput
+	nodeDrop
+	nodeIP4Input
+	nodeIP4Lookup
+	nodeIP4Rewrite
+	numNodes
+)
+
+// pendingVec is one not-yet-dispatched (node, ctx) vector on the frame's
+// FIFO work queue.
+type pendingVec struct {
+	node int32
+	ctx  int32
+	vec  []*pkt.Buf
 }
 
 // Switch is a VPP instance.
@@ -62,21 +80,25 @@ type Switch struct {
 	env   switchdef.Env
 	ports []switchdef.DevPort
 
-	nodes   map[string]Node
-	order   []string // dispatch order
-	pending map[pendingKey][]*pkt.Buf
-	keys    []pendingKey // deterministic iteration
+	nodes [numNodes]Node
 
-	// vecFree and spareKeys recycle dispatch-frame vectors and the key
-	// list across polls; a graph frame otherwise allocates one vector
-	// per (node, ctx) pair it visits, every poll.
-	vecFree   [][]*pkt.Buf
-	spareKeys []pendingKey
+	// q/qHead are the dispatch frame's FIFO of pending vectors. This is
+	// exactly equivalent to the two-level rounds loop it replaced (merge
+	// into any not-yet-processed (node, ctx) entry, else append), but
+	// with a linear scan over the few live tail entries instead of a
+	// map insert/delete pair per node visit.
+	q     []pendingVec
+	qHead int
 
-	patch  map[int]int // l2patch: rx port -> tx port
-	bridge map[int]bool
-	mac    *l2.MACTable
-	l3     *ip4State
+	// vecFree recycles dispatch-frame vectors across polls; a graph
+	// frame otherwise allocates one vector per (node, ctx) pair it
+	// visits, every poll.
+	vecFree [][]*pkt.Buf
+
+	patchTo  []int // l2patch: rx port -> tx port (-1 = none)
+	bridgeOn []bool
+	mac      *l2.MACTable
+	l3       *ip4State
 
 	txStage [][]*pkt.Buf // per-port tx staging, flushed at frame end
 
@@ -87,16 +109,19 @@ type Switch struct {
 // New returns an unconfigured VPP instance.
 func New(env switchdef.Env) *Switch {
 	sw := &Switch{
-		env:     env,
-		nodes:   map[string]Node{},
-		pending: map[pendingKey][]*pkt.Buf{},
-		patch:   map[int]int{},
-		bridge:  map[int]bool{},
-		mac:     l2.NewMACTable(1024, 0),
+		env: env,
+		mac: l2.NewMACTable(1024, 0),
 	}
-	for _, n := range []Node{patchNode{}, ethInputNode{}, l2LearnNode{}, l2FwdNode{}, outputNode{}, dropNode{}, ip4InputNode{}, ip4LookupNode{}, ip4RewriteNode{}} {
-		sw.nodes[n.Name()] = n
-		sw.order = append(sw.order, n.Name())
+	sw.nodes = [numNodes]Node{
+		nodeL2Patch:    patchNode{},
+		nodeEthInput:   ethInputNode{},
+		nodeL2Learn:    l2LearnNode{},
+		nodeL2Fwd:      l2FwdNode{},
+		nodeOutput:     outputNode{},
+		nodeDrop:       dropNode{},
+		nodeIP4Input:   ip4InputNode{},
+		nodeIP4Lookup:  ip4LookupNode{},
+		nodeIP4Rewrite: ip4RewriteNode{},
 	}
 	return sw
 }
@@ -124,6 +149,8 @@ var info = switchdef.Info{
 func (sw *Switch) AddPort(p switchdef.DevPort) int {
 	sw.ports = append(sw.ports, p)
 	sw.txStage = append(sw.txStage, nil)
+	sw.patchTo = append(sw.patchTo, -1)
+	sw.bridgeOn = append(sw.bridgeOn, false)
 	return len(sw.ports) - 1
 }
 
@@ -136,8 +163,8 @@ func (sw *Switch) CrossConnect(a, b int) error {
 	if err := sw.checkPort(b); err != nil {
 		return err
 	}
-	sw.patch[a] = b
-	sw.patch[b] = a
+	sw.patchTo[a] = b
+	sw.patchTo[b] = a
 	return nil
 }
 
@@ -168,7 +195,7 @@ func (sw *Switch) CLI(cmd string) error {
 		if e := sw.checkPort(tx); e != nil {
 			return e
 		}
-		sw.patch[rx] = tx
+		sw.patchTo[rx] = tx
 		return nil
 	}
 	if len(f) == 5 && f[0] == "set" && f[1] == "interface" && f[2] == "l2" && f[3] == "bridge" {
@@ -179,7 +206,7 @@ func (sw *Switch) CLI(cmd string) error {
 		if e := sw.checkPort(p); e != nil {
 			return e
 		}
-		sw.bridge[p] = true
+		sw.bridgeOn[p] = true
 		return nil
 	}
 	return sw.ipCLI(f)
@@ -203,27 +230,31 @@ func (sw *Switch) putVec(v []*pkt.Buf) {
 
 // enqueue hands a vector to a node for this dispatch frame. The contents
 // are copied into a per-(node, ctx) pending vector, so callers keep
-// ownership of the slice itself.
-func (sw *Switch) enqueue(node string, ctx int, bufs []*pkt.Buf) {
-	k := pendingKey{node, ctx}
-	vec, ok := sw.pending[k]
-	if !ok {
-		sw.keys = append(sw.keys, k)
-		vec = sw.getVec()
+// ownership of the slice itself. Merging targets any not-yet-dispatched
+// queue entry; the scan is linear but the live tail is a handful of
+// entries at most (one per distinct (node, ctx) still in flight).
+func (sw *Switch) enqueue(node, ctx int, bufs []*pkt.Buf) {
+	for i := sw.qHead; i < len(sw.q); i++ {
+		e := &sw.q[i]
+		if int(e.node) == node && int(e.ctx) == ctx {
+			e.vec = append(e.vec, bufs...)
+			return
+		}
 	}
-	sw.pending[k] = append(vec, bufs...)
+	sw.q = append(sw.q, pendingVec{node: int32(node), ctx: int32(ctx), vec: append(sw.getVec(), bufs...)})
 }
 
 // enqueue1 is enqueue for a single frame, avoiding the slice header a
 // []*pkt.Buf{b} literal would heap-allocate per packet.
-func (sw *Switch) enqueue1(node string, ctx int, b *pkt.Buf) {
-	k := pendingKey{node, ctx}
-	vec, ok := sw.pending[k]
-	if !ok {
-		sw.keys = append(sw.keys, k)
-		vec = sw.getVec()
+func (sw *Switch) enqueue1(node, ctx int, b *pkt.Buf) {
+	for i := sw.qHead; i < len(sw.q); i++ {
+		e := &sw.q[i]
+		if int(e.node) == node && int(e.ctx) == ctx {
+			e.vec = append(e.vec, b)
+			return
+		}
 	}
-	sw.pending[k] = append(vec, b)
+	sw.q = append(sw.q, pendingVec{node: int32(node), ctx: int32(ctx), vec: append(sw.getVec(), b)})
 }
 
 // Poll implements switchdef.Switch: one graph dispatch frame over every
@@ -247,33 +278,30 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 			m.Charge(units.Cycles(n) * vhostRxPenalty)
 		}
 		v := burst[:n]
-		_, patched := sw.patch[i]
 		switch {
-		case patched:
-			sw.enqueue("l2-patch", i, v)
-		case sw.bridge[i]:
-			sw.enqueue("ethernet-input", i, v)
+		case sw.patchTo[i] >= 0:
+			sw.enqueue(nodeL2Patch, i, v)
+		case sw.bridgeOn[i]:
+			sw.enqueue(nodeEthInput, i, v)
 		case sw.l3 != nil && sw.l3.enabled[i]:
-			sw.enqueue("ip4-input", i, v)
+			sw.enqueue(nodeIP4Input, i, v)
 		default:
-			sw.enqueue("error-drop", i, v)
+			sw.enqueue(nodeDrop, i, v)
 		}
 	}
-	// Graph dispatch until quiescent.
-	for len(sw.keys) > 0 {
-		keys := sw.keys
-		sw.keys = sw.spareKeys[:0]
-		for _, k := range keys {
-			v := sw.pending[k]
-			delete(sw.pending, k)
-			node := sw.nodes[k.node]
-			node.Process(sw, now, m, k.ctx, v)
-			// Nodes pass frames onward by value (enqueue copies), so
-			// the vector itself is dead once Process returns.
-			sw.putVec(v)
-		}
-		sw.spareKeys = keys[:0]
+	// Graph dispatch until quiescent: plain FIFO over pending vectors.
+	for sw.qHead < len(sw.q) {
+		ent := sw.q[sw.qHead]
+		// Drop the queue's reference before Process may grow sw.q.
+		sw.q[sw.qHead].vec = nil
+		sw.qHead++
+		sw.nodes[ent.node].Process(sw, now, m, int(ent.ctx), ent.vec)
+		// Nodes pass frames onward by value (enqueue copies), so the
+		// vector itself is dead once Process returns.
+		sw.putVec(ent.vec)
 	}
+	sw.q = sw.q[:0]
+	sw.qHead = 0
 	// Flush staged tx.
 	for i := range sw.ports {
 		stage := sw.txStage[i]
@@ -297,7 +325,7 @@ type patchNode struct{}
 func (patchNode) Name() string { return "l2-patch" }
 func (patchNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
 	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*patchPerPkt, costJitterFrac)
-	sw.enqueue("interface-output", sw.patch[ctx], v)
+	sw.enqueue(nodeOutput, sw.patchTo[ctx], v)
 }
 
 type ethInputNode struct{}
@@ -308,13 +336,13 @@ func (ethInputNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, 
 	keep := v[:0]
 	for _, b := range v {
 		if _, err := pkt.ParseEth(b.View()); err != nil {
-			sw.enqueue1("error-drop", ctx, b)
+			sw.enqueue1(nodeDrop, ctx, b)
 			continue
 		}
 		keep = append(keep, b)
 	}
 	if len(keep) > 0 {
-		sw.enqueue("l2-learn", ctx, keep)
+		sw.enqueue(nodeL2Learn, ctx, keep)
 	}
 }
 
@@ -326,7 +354,7 @@ func (l2LearnNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v
 	for _, b := range v {
 		sw.mac.Learn(pkt.EthSrc(b.View()), ctx, now)
 	}
-	sw.enqueue("l2-fwd", ctx, v)
+	sw.enqueue(nodeL2Fwd, ctx, v)
 }
 
 type l2FwdNode struct{}
@@ -337,18 +365,18 @@ func (l2FwdNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v [
 	for _, b := range v {
 		dst, ok := sw.mac.Lookup(pkt.EthDst(b.View()), now)
 		if ok && dst != ctx {
-			sw.enqueue1("interface-output", dst, b)
+			sw.enqueue1(nodeOutput, dst, b)
 			continue
 		}
 		if ok && dst == ctx {
-			sw.enqueue1("error-drop", ctx, b)
+			sw.enqueue1(nodeDrop, ctx, b)
 			continue
 		}
 		// Flood to all other bridge ports (in port order, for
 		// deterministic replay).
 		flooded := false
 		for p := range sw.ports {
-			if p == ctx || !sw.bridge[p] {
+			if p == ctx || !sw.bridgeOn[p] {
 				continue
 			}
 			out := b
@@ -356,11 +384,11 @@ func (l2FwdNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v [
 				out = sw.env.Pool.Clone(b)
 				m.ChargeCopy(b.Len())
 			}
-			sw.enqueue1("interface-output", p, out)
+			sw.enqueue1(nodeOutput, p, out)
 			flooded = true
 		}
 		if !flooded {
-			sw.enqueue1("error-drop", ctx, b)
+			sw.enqueue1(nodeDrop, ctx, b)
 		}
 	}
 }
