@@ -7,7 +7,7 @@
 //	swbench run -switch vpp -scenario p2p [-size 64] [-bidir] [-chain N]
 //	            [-rate-gbps 5] [-latency] [-duration-ms 20]
 //	swbench rplus -switch vpp -scenario loopback -chain 2
-//	swbench figure 1|4a|4b|4c|5|6|scaling [-quick] [-compare] [-workers N]
+//	swbench figure 1|4a|4b|4c|5|6|scaling|churn [-quick] [-compare] [-workers N]
 //	swbench table 1|2|3|4|5 [-quick] [-compare] [-workers N]
 //	swbench all [-quick] [-compare] [-workers N]   # every figure and table
 //	swbench campaign list
@@ -35,7 +35,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  swbench rplus -switch vpp -scenario p2p")
 	fmt.Fprintln(os.Stderr, "  swbench ndr -switch vpp -scenario p2p [-loss-tolerance N]")
 	fmt.Fprintln(os.Stderr, "  swbench windows -switch snabb -n 10      # windowed time series")
-	fmt.Fprintln(os.Stderr, "  swbench figure 1|4a|4b|4c|5|6|scaling [-quick] [-compare] [-workers N]")
+	fmt.Fprintln(os.Stderr, "  swbench figure 1|4a|4b|4c|5|6|scaling|churn [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench table 1|2|3|4|5 [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench all [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench campaign list | <name> [-quick] [-workers N] [-timeout D] [-cache-dir P] [-artifacts F] [-resume] [-bench-out F]")
@@ -112,6 +112,8 @@ func runCmd(args []string) error {
 	fs.StringVar(&cfg.Dispatch, "dispatch", "", "multi-core dispatch mode: rss or rtc (default rss when -cores > 1)")
 	fs.StringVar(&cfg.RSSPolicy, "rss-policy", "", "rss steering: roundrobin or flowhash (default roundrobin)")
 	fs.IntVar(&cfg.Flows, "flows", 1, "number of synthetic flows")
+	fs.Float64Var(&cfg.ZipfSkew, "zipf", 0, "Zipf flow-popularity skew (0 = round-robin flows)")
+	fs.Float64Var(&cfg.RuleUpdateRate, "rule-update-rate", 0, "mid-run rule installs+revokes per simulated second (0 = off)")
 	fs.IntVar(&cfg.SimWorkers, "sim-workers", 0, "goroutines per simulation (conservative parallel DES; 0/1 = sequential)")
 	fs.BoolVar(&cfg.Containers, "containers", false, "host VNFs in containers instead of VMs")
 	fs.StringVar(&cfg.CapturePath, "pcap", "", "dump delivered frames to this pcap file")
@@ -211,7 +213,7 @@ func suiteOpts(quick bool, simWorkers int) swbench.RunOpts {
 
 func figureCmd(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("figure needs an id: 1, 4a, 4b, 4c, 5, 6, scaling")
+		return fmt.Errorf("figure needs an id: 1, 4a, 4b, 4c, 5, 6, scaling, churn")
 	}
 	id := args[0]
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
@@ -251,6 +253,13 @@ func figureCSV(r swbench.Runner, id string, o swbench.RunOpts, path string) erro
 			return err
 		}
 		return swbench.WriteScalingCSV(f, fig)
+	}
+	if id == "churn" {
+		fig, err := swbench.FigureChurnOn(r, o)
+		if err != nil {
+			return err
+		}
+		return swbench.WriteChurnCSV(f, fig)
 	}
 	var fig *swbench.Figure
 	switch id {
@@ -318,6 +327,13 @@ func renderFigure(r swbench.Runner, id string, o swbench.RunOpts, compare bool) 
 			return err
 		}
 		swbench.RenderScalingFigure(os.Stdout, fig)
+		return nil
+	case "churn":
+		fig, err := swbench.FigureChurnOn(r, o)
+		if err != nil {
+			return err
+		}
+		swbench.RenderChurnFigure(os.Stdout, fig)
 		return nil
 	case "4a", "4b", "4c", "5", "6":
 		var fig *swbench.Figure

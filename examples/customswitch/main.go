@@ -15,7 +15,10 @@ import (
 )
 
 // naiveSwitch forwards between cross-connected ports one packet at a time.
+// It has no runtime rule table, so it embeds the Programmer stub.
 type naiveSwitch struct {
+	swbench.NoRuntimeRules
+
 	env   swbench.Env
 	ports []swbench.DevPort
 	peer  map[int]int

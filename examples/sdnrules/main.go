@@ -1,18 +1,34 @@
-// Sdnrules: drive the OvS-DPDK data plane directly with OpenFlow-style
-// rules and watch the three-tier lookup (EMC → megaflow → slow path) that
-// explains its p2p performance in the paper.
+// Sdnrules: program the OvS-DPDK data plane through the typed
+// switchdef.Programmer control plane and watch the three-tier lookup
+// (EMC → megaflow → slow path) that explains its p2p performance in the
+// paper — including what a rule Revoke does to the caches mid-traffic.
 //
-// This example uses the internal OvS implementation on synthetic ports —
-// the level below the benchmark harness — to show the match/action
-// machinery the paper's taxonomy (Table 1) classifies OvS-DPDK by.
+// The rules are typed values (switchdef.Rule), not ovs-ofctl strings: the
+// same Install/Revoke/Snapshot surface the mid-run rule controller, the
+// multi-core fleet, and every reprogrammable switch share. OvS lowers
+// each rule into its OpenFlow table and synthesizes the canonical
+// add-flow text, so DumpFlows output is indistinguishable from
+// string-installed rules.
+//
+// The accompanying churn.json runs the same idea under the benchmark
+// harness — a p2p topology with a controller node editing rules mid-run:
+//
+//	swbench topo -file examples/sdnrules/churn.json -format dot
+//	swbench run -switch ovs -topology examples/sdnrules/churn.json \
+//	        -rule-update-rate 20000 -flows 16384 -zipf 1.1
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
+	"runtime"
 
+	swbench "repro"
 	"repro/internal/pkt"
 	"repro/internal/switches/ovs"
+	"repro/internal/switches/switchdef"
 	"repro/internal/switches/switchtest"
 )
 
@@ -27,17 +43,34 @@ func main() {
 
 	// An SDN-ish rule set: steer one UDP flow to port 2, drop ARP, and
 	// let everything else follow in_port-based forwarding.
-	rules := []string{
-		"priority=200,dl_type=0x0800,nw_proto=17,tp_dst=4789,actions=output:2",
-		"priority=150,dl_type=0x0806,actions=drop",
-		"priority=100,in_port=0,actions=mod_dl_src:02:aa:aa:aa:aa:aa,output:1",
-		"priority=100,in_port=1,actions=output:0",
+	rules := []switchdef.Rule{
+		{Priority: 200, Match: switchdef.Match{
+			Fields:  switchdef.FEthType | switchdef.FIPProto | switchdef.FL4Dst,
+			EthType: 0x0800, IPProto: 17, L4Dst: 4789,
+		}, Actions: []switchdef.RuleAction{{Kind: switchdef.RuleOutput, Port: 2}}},
+		{Priority: 150, Match: switchdef.Match{
+			Fields: switchdef.FEthType, EthType: 0x0806,
+		}, Actions: []switchdef.RuleAction{{Kind: switchdef.RuleDrop}}},
+		{Priority: 100, Match: switchdef.Match{
+			Fields: switchdef.FInPort, InPort: 0,
+		}, Actions: []switchdef.RuleAction{
+			{Kind: switchdef.RuleSetEthSrc, MAC: pkt.MAC{2, 0xaa, 0xaa, 0xaa, 0xaa, 0xaa}},
+			{Kind: switchdef.RuleOutput, Port: 1},
+		}},
+		{Priority: 100, Match: switchdef.Match{
+			Fields: switchdef.FInPort, InPort: 1,
+		}, Actions: []switchdef.RuleAction{{Kind: switchdef.RuleOutput, Port: 0}}},
 	}
 	for _, r := range rules {
-		if err := sw.AddFlow(r); err != nil {
+		if err := sw.Install(r); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Println("ovs-ofctl add-flow", r)
+	}
+	// Each typed rule lowered into the OpenFlow table, echoed as the
+	// canonical ovs-ofctl text OvS synthesizes for it.
+	fmt.Printf("installed rules (Snapshot reports %d):\n", len(sw.Snapshot()))
+	for _, r := range sw.Rules() {
+		fmt.Println("  ovs-ofctl add-flow", r.Text)
 	}
 
 	m := switchtest.Meter(env)
@@ -64,10 +97,15 @@ func main() {
 	switchtest.PollUntilIdle(sw, m, 1)
 	report(sw, ports)
 
-	fmt.Println("\n--- a thousand distinct flows sharing one wildcard rule (megaflow hits) ---")
+	fmt.Println("\n--- Revoke the VXLAN steering rule mid-traffic ---")
+	// Revoke identifies the installed rule by (priority, match): the
+	// caches holding its verdict are flushed, so the next VXLAN packet
+	// takes the slow path again and now follows the in_port rule.
+	if err := sw.Revoke(rules[0]); err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 1000; i++ {
-		b := mkFrame(uint16(5000 + i)) // distinct L4 ports ⇒ distinct EMC keys
-		ports[0].In = append(ports[0].In, b)
+		ports[0].In = append(ports[0].In, mkFrame(4789), mkFrame(80))
 	}
 	switchtest.PollUntilIdle(sw, m, 2)
 	report(sw, ports)
@@ -76,6 +114,38 @@ func main() {
 	for _, r := range sw.Rules() {
 		fmt.Printf("  %6d  %s\n", r.Hits, r.Text)
 	}
+
+	runTopology()
+}
+
+// runTopology executes churn.json — the same p2p+controller graph the
+// CLI invocation in the package comment runs — under the full harness,
+// with mid-run rule churn against a Zipf flow mix.
+func runTopology() {
+	_, self, _, _ := runtime.Caller(0)
+	data, err := os.ReadFile(filepath.Join(filepath.Dir(self), "churn.json"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph, err := swbench.ParseTopology(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := swbench.Run(swbench.Config{
+		Switch:         "ovs",
+		Scenario:       swbench.Custom,
+		Topology:       graph,
+		FrameLen:       64,
+		Duration:       4 * swbench.Millisecond,
+		Flows:          16384,
+		ZipfSkew:       1.1,
+		RuleUpdateRate: 20000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nchurn.json on ovs: %.2f Gbps, %d rule updates, %d EMC evictions\n",
+		res.Gbps, res.RuleUpdates, res.EMCEvictions)
 }
 
 func report(sw *ovs.Switch, ports []*switchtest.FakePort) {

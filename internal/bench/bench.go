@@ -65,6 +65,11 @@ func Cells(o core.RunOpts) []Cell {
 		// regressions and show what classification memoization buys.
 		mk("p2p-64B-ovs", core.Config{Switch: "ovs", Scenario: core.P2P, FrameLen: 64}),
 		mk("p2p-64B-ovs-256f", core.Config{Switch: "ovs", Scenario: core.P2P, FrameLen: 64, Flows: 256}),
+		// Mid-run rule churn against a Zipf flow mix: the control-plane
+		// path (install/revoke, cache invalidation, memo retirement) plus
+		// the Zipf draw per frame, all on the EMC-bound OvS data plane.
+		mk("churn-64B-ovs", core.Config{Switch: "ovs", Scenario: core.P2P, FrameLen: 64,
+			Flows: 8192, ZipfSkew: 1.1, RuleUpdateRate: 10000}),
 		mk("p2p-64B-fastclick", core.Config{Switch: "fastclick", Scenario: core.P2P, FrameLen: 64}),
 		mk("p2p-64B-t4p4s", core.Config{Switch: "t4p4s", Scenario: core.P2P, FrameLen: 64}),
 		mk("p2p-64B-bess", core.Config{Switch: "bess", Scenario: core.P2P, FrameLen: 64}),

@@ -82,6 +82,31 @@ var builtins = map[string]builtinDef{
 		}
 		return out, nil
 	}},
+	"churn": {"cache-churn grid: flow mix x update rate x flows x switch", func(o core.RunOpts) ([]Spec, error) {
+		// The figure grid includes rule-update cells for switches that
+		// cannot take runtime rule edits (rendered as "-"); a campaign
+		// measures each runnable cell exactly once.
+		var cfgs []core.Config
+		for _, cfg := range core.ChurnSpecs(o) {
+			if cfg.RuleUpdateRate > 0 {
+				if info, err := switchdef.Lookup(cfg.Switch); err == nil && !info.RuntimeRules {
+					continue
+				}
+			}
+			cfgs = append(cfgs, cfg)
+		}
+		specs := prefixed("churn", cfgs)
+		seen := make(map[string]bool, len(specs))
+		var out []Spec
+		for _, s := range specs {
+			if seen[s.ID] {
+				continue
+			}
+			seen[s.ID] = true
+			out = append(out, s)
+		}
+		return out, nil
+	}},
 	"throughput": {"every throughput figure grid (Figs. 4a-c, 5, 6)", func(o core.RunOpts) ([]Spec, error) {
 		var specs []Spec
 		for _, id := range []string{"4a", "4b", "4c", "5", "6"} {

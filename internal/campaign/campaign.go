@@ -52,6 +52,15 @@ func AutoID(cfg core.Config) string {
 	if c.Bidir {
 		b.WriteString("-bidir")
 	}
+	if c.Flows > 1 {
+		fmt.Fprintf(&b, "-%df", c.Flows)
+	}
+	if c.ZipfSkew > 0 {
+		fmt.Fprintf(&b, "-zipf%g", c.ZipfSkew)
+	}
+	if c.RuleUpdateRate > 0 {
+		fmt.Fprintf(&b, "-%gups", c.RuleUpdateRate)
+	}
 	if c.SUTCores > 1 {
 		fmt.Fprintf(&b, "-%dcore-%s", c.SUTCores, c.Dispatch)
 		if c.Dispatch == core.DispatchRSS && c.RSSPolicy != "" {

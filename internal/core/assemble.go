@@ -97,6 +97,20 @@ func (a *assembler) Monitor(name string, at int) error {
 	return nil
 }
 
+// Controller implements topo.Assembler: the control-plane actor programs
+// the switch facade directly (multi-core runs broadcast through the
+// fleet), stepping on the SUT partition's scheduler. With no update rate
+// configured it stays idle — a declared controller with nothing to do.
+func (a *assembler) Controller(name string) error {
+	if a.tb.cfg.RuleUpdateRate <= 0 {
+		return nil
+	}
+	c := newRuleController(a.tb.schedOf(a.tb.partOf(name)), name, a.tb.sw, a.tb.cfg.RuleUpdateRate)
+	c.Start(0)
+	a.tb.controller = c
+	return nil
+}
+
 // VNF implements topo.Assembler. An empty app picks the switch's native
 // chain VNF: a guest VALE instance over ptnet, DPDK l2fwd otherwise.
 func (a *assembler) VNF(name string, pa, pb, srcMAC, rewriteAB, rewriteBA int, app string) error {

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/topo"
+	"repro/internal/units"
+)
+
+// churnCfg is the shared churn cell of these tests: mid-run rule edits
+// against a Zipf flow mix, probes on (so rule-edit stalls show in RTT).
+func churnCfg(name string) Config {
+	return Config{Switch: name, Scenario: P2P, FrameLen: 64,
+		Flows: 8192, ZipfSkew: 1.1, RuleUpdateRate: 10000,
+		ProbeEvery: 100 * units.Microsecond,
+		Duration:   2 * units.Millisecond, Warmup: units.Millisecond}
+}
+
+// TestChurnGoldenDigests pins full Result JSON digests for the mid-run
+// rule-churn path on every programmable switch: the controller schedule,
+// each switch's rule lowering and cache invalidation, the Zipf flow
+// draw, and the RuleUpdates/EMCEvictions counters all feed the digest.
+// Re-pin only with an argued equivalence (see DESIGN.md §3.7).
+func TestChurnGoldenDigests(t *testing.T) {
+	cases := []struct {
+		name   string
+		digest string
+	}{
+		{"ovs", "e579bc12b700791432fcf5f22f7d1b65"},
+		{"vpp", "afd04577735a4ccfa6f2098f6d25e8f3"},
+		{"fastclick", "80e07d4d7e2470c412e53f5746596ff1"},
+		{"t4p4s", "8204a6564bfbe6a07de3a13bfc07effe"},
+	}
+	for _, tc := range cases {
+		res, err := Run(churnCfg(tc.name))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if res.RuleUpdates == 0 {
+			t.Errorf("%s: no rule updates recorded in the measurement window", tc.name)
+		}
+		if got := resultDigest(t, res); got != tc.digest {
+			t.Errorf("%s churn: digest %s, want %s (rule-churn path diverged)", tc.name, got, tc.digest)
+		}
+	}
+}
+
+// TestChurnEngineEquivalence: the churn cell is bit-identical under the
+// sequential engine and the conservative parallel engine — the
+// controller actor partitions like any other wire-boundary actor.
+func TestChurnEngineEquivalence(t *testing.T) {
+	cfg := churnCfg("ovs")
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SimWorkers = 4
+	par, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a, b := resultDigest(t, seq), resultDigest(t, par); a != b {
+		t.Fatalf("sequential digest %s != parallel digest %s", a, b)
+	}
+}
+
+// TestChurnCountersAndEMCKnee: the acceptance behavior of the churn
+// family — OvS's EMC evicts past its 8192-entry capacity and throughput
+// degrades, while the update counter tracks the configured rate.
+func TestChurnCountersAndEMCKnee(t *testing.T) {
+	under := Config{Switch: "ovs", Scenario: P2P, FrameLen: 64, Flows: 2048,
+		Duration: 2 * units.Millisecond, Warmup: units.Millisecond}
+	over := under
+	over.Flows = 32768
+	ru, err := Run(under)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Run(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ro.EMCEvictions == 0 {
+		t.Error("32768 flows: no EMC evictions past the 8192-entry capacity")
+	}
+	if ro.Gbps >= ru.Gbps {
+		t.Errorf("EMC overflow did not degrade throughput: %.2f (32768f) >= %.2f (2048f)", ro.Gbps, ru.Gbps)
+	}
+
+	res, err := Run(churnCfg("ovs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10k updates/s over a 2 ms window = 20 operations.
+	if res.RuleUpdates != 20 {
+		t.Errorf("RuleUpdates = %d, want 20 (10k ops/s over 2 ms)", res.RuleUpdates)
+	}
+}
+
+// TestChurnValidate: every churn-knob violation is reported at once
+// (errors.Join), and a non-programmable switch under rule churn fails
+// with the typed ErrNoRuntimeRules.
+func TestChurnValidate(t *testing.T) {
+	bad := Config{Switch: "vale", Scenario: P2P,
+		Flows: -1, ZipfSkew: -2, RuleUpdateRate: -5}
+	err := bad.Validate()
+	if err == nil {
+		t.Fatal("invalid churn knobs validated clean")
+	}
+	for _, want := range []string{"Flows", "ZipfSkew", "RuleUpdateRate"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined validation error misses the %s violation: %v", want, err)
+		}
+	}
+
+	skewNoFlows := Config{Switch: "ovs", Scenario: P2P, ZipfSkew: 1.1}
+	if err := skewNoFlows.Validate(); err == nil {
+		t.Error("ZipfSkew without Flows > 1 validated clean")
+	}
+
+	fixed := Config{Switch: "vale", Scenario: P2P, RuleUpdateRate: 1000}
+	if err := fixed.Validate(); !errors.Is(err, ErrNoRuntimeRules) {
+		t.Errorf("vale churn validation = %v, want ErrNoRuntimeRules", err)
+	}
+	if _, err := Run(fixed); !errors.Is(err, ErrNoRuntimeRules) {
+		t.Errorf("vale churn run = %v, want ErrNoRuntimeRules", err)
+	}
+
+	// A custom topology can only take rule churn if it declares who
+	// edits the rules.
+	g := &topo.Graph{
+		Nodes: []topo.Node{
+			{Name: "p0", Kind: topo.KindPhysPair},
+			{Name: "p1", Kind: topo.KindPhysPair},
+			{Name: "tx", Kind: topo.KindGenerator, At: "p0"},
+			{Name: "rx", Kind: topo.KindSink, At: "p1"},
+		},
+		Edges: []topo.Edge{{Kind: topo.EdgeCross, A: "p0", B: "p1"}},
+	}
+	noCtl := Config{Switch: "ovs", Scenario: Custom, Topology: g, RuleUpdateRate: 1000}
+	if err := noCtl.Validate(); err == nil {
+		t.Error("custom churn topology without a controller validated clean")
+	}
+	g.Nodes = append(g.Nodes, topo.Node{Name: "ctl", Kind: topo.KindController})
+	withCtl := Config{Switch: "ovs", Scenario: Custom, Topology: g, RuleUpdateRate: 1000}
+	if err := withCtl.Validate(); err != nil {
+		t.Errorf("custom churn topology with a controller rejected: %v", err)
+	}
+}
+
+// TestChurnFreeCacheKeysUnchanged: a config without churn knobs
+// canonicalizes to JSON that never mentions them, so campaign cache keys
+// of every pre-churn result are untouched by this feature.
+func TestChurnFreeCacheKeysUnchanged(t *testing.T) {
+	cfg := Config{Switch: "ovs", Scenario: P2P, FrameLen: 64}.Canonical()
+	blob, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"ZipfSkew", "RuleUpdateRate"} {
+		if strings.Contains(string(blob), field) {
+			t.Errorf("churn-free canonical config leaks %s into the cache key: %s", field, blob)
+		}
+	}
+}
+
+// TestZipfSkewShiftsLoadToHotFlows: with a heavy-tailed flow mix the OvS
+// EMC stays warm (hot flows dominate), so throughput at a flow count far
+// past EMC capacity is strictly better than under the round-robin mix.
+func TestZipfSkewShiftsLoadToHotFlows(t *testing.T) {
+	rr := Config{Switch: "ovs", Scenario: P2P, FrameLen: 64, Flows: 32768,
+		Duration: 2 * units.Millisecond, Warmup: units.Millisecond}
+	zipf := rr
+	zipf.ZipfSkew = 1.1
+	r1, err := Run(rr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(zipf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Gbps <= r1.Gbps {
+		t.Errorf("zipf(1.1) mix (%.2f Gbps) not above round-robin (%.2f Gbps) at 32768 flows", r2.Gbps, r1.Gbps)
+	}
+	if r2.EMCEvictions >= r1.EMCEvictions {
+		t.Errorf("zipf(1.1) evictions (%d) not below round-robin (%d)", r2.EMCEvictions, r1.EMCEvictions)
+	}
+}

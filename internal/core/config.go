@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/multicore"
 	"repro/internal/stats"
+	"repro/internal/switches/switchdef"
 	"repro/internal/topo"
 	"repro/internal/units"
 )
@@ -75,6 +76,18 @@ type Config struct {
 	// ("identical packets, corresponding to a single flow"); higher
 	// values stress flow caches and learning tables (ablations).
 	Flows int
+	// ZipfSkew, when > 0, draws each frame's flow from a Zipf
+	// distribution with this exponent over [0, Flows) instead of cycling
+	// round-robin — the heavy-tailed flow mix real traces show, which
+	// keeps hot flows cached while the tail churns the EMC. 0 keeps the
+	// paper's round-robin cycle byte-identical.
+	ZipfSkew float64 `json:",omitempty"`
+	// RuleUpdateRate, when > 0, runs a control-plane actor that installs
+	// and revokes rules against the SUT at this many operations per
+	// second of simulated time (mid-run rule churn: megaflow
+	// revalidation, EMC invalidation, per-shard re-misses). It requires
+	// a switch whose Info().RuntimeRules is true.
+	RuleUpdateRate float64 `json:",omitempty"`
 	// ProbeEvery injects latency probes at this interval (0 = none).
 	ProbeEvery units.Time
 	// LatencyTopology selects the v2v latency wiring (two interfaces per
@@ -212,6 +225,26 @@ func (cfg Config) Validate() error {
 	if c.SUTCores < 1 {
 		errs = append(errs, errors.New("core: SUTCores must be at least 1"))
 	}
+	if c.Flows < 0 {
+		errs = append(errs, fmt.Errorf("core: Flows must be non-negative (got %d)", c.Flows))
+	}
+	if c.ZipfSkew < 0 {
+		errs = append(errs, fmt.Errorf("core: ZipfSkew must be positive when set (got %g)", c.ZipfSkew))
+	}
+	if c.ZipfSkew > 0 && c.Flows < 2 {
+		errs = append(errs, fmt.Errorf("core: ZipfSkew needs Flows > 1 to have a distribution to skew (got Flows=%d)", c.Flows))
+	}
+	if c.RuleUpdateRate < 0 {
+		errs = append(errs, fmt.Errorf("core: RuleUpdateRate must be non-negative (got %g)", c.RuleUpdateRate))
+	}
+	if c.RuleUpdateRate > 0 {
+		if info, err := switchdef.Lookup(c.Switch); err == nil && !info.RuntimeRules {
+			errs = append(errs, fmt.Errorf("core: %s cannot take rule updates at runtime: %w", c.Switch, ErrNoRuntimeRules))
+		}
+		if c.Scenario == Custom && c.Topology != nil && !c.Topology.HasController() {
+			errs = append(errs, errors.New("core: RuleUpdateRate needs a controller node in the custom topology"))
+		}
+	}
 	if c.SimWorkers < 0 {
 		errs = append(errs, fmt.Errorf("core: SimWorkers must be non-negative (got %d)", c.SimWorkers))
 	}
@@ -303,6 +336,11 @@ var ErrChainTooLong = errors.New("core: switch cannot host this many VMs (QEMU i
 // render it as unsupported.
 var ErrNoMultiCore = errors.New("core: switch does not support multi-core operation")
 
+// ErrNoRuntimeRules reports a switch whose data plane cannot be
+// reprogrammed while running (Snabb/BESS rebuild their graphs, VALE
+// learns). Churn figures render it as unsupported.
+var ErrNoRuntimeRules = switchdef.ErrNoRuntimeRules
+
 // DirResult is per-direction throughput.
 type DirResult struct {
 	// RxPackets/RxBytes were delivered to the direction's measurement
@@ -347,6 +385,13 @@ type Result struct {
 	// for during the window — the per-crossing "vhost tax" that separates
 	// p2v/v2v/loopback from p2p.
 	HostCopies int64
+	// RuleUpdates counts the control-plane rule operations (installs +
+	// revokes) completed during the window (0 without churn).
+	RuleUpdates int64 `json:",omitempty"`
+	// EMCEvictions counts exact-match-cache entries replaced while live
+	// during the window — OvS's first cache tier overflowing under flow
+	// diversity. Zero for switches without an EMC.
+	EMCEvictions int64 `json:",omitempty"`
 	// Steps is the scheduler step count (determinism fingerprint). It is
 	// engine-independent: the partitioned engine dispatches the same
 	// events and sums per-partition counts.

@@ -34,6 +34,37 @@ func WriteFigureCSV(w io.Writer, fig *Figure) error {
 	return cw.Error()
 }
 
+// WriteChurnCSV emits the cache-churn family as CSV with the columns
+// switch,zipf_skew,update_rate,flows,gbps,mpps,mean_rtt_us,rule_updates,
+// emc_evictions,unsupported.
+func WriteChurnCSV(w io.Writer, fig *ChurnFigure) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"switch", "zipf_skew", "update_rate", "flows", "gbps", "mpps", "mean_rtt_us", "rule_updates", "emc_evictions", "unsupported"}); err != nil {
+		return err
+	}
+	for _, c := range fig.Curves {
+		for _, pt := range c.Points {
+			rec := []string{
+				c.Switch,
+				fmt.Sprintf("%g", c.ZipfSkew),
+				fmt.Sprintf("%g", c.UpdateRate),
+				fmt.Sprint(pt.Flows),
+				fmt.Sprintf("%.4f", pt.Gbps),
+				fmt.Sprintf("%.4f", pt.Mpps),
+				fmt.Sprintf("%.2f", pt.MeanLatencyUs),
+				fmt.Sprint(pt.RuleUpdates),
+				fmt.Sprint(pt.EMCEvictions),
+				fmt.Sprint(pt.Unsupported),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteScalingCSV emits the scaling-curve family as CSV with the columns
 // switch,dispatch,frame_bytes,cores,effective_cores,gbps,mpps,unsupported.
 func WriteScalingCSV(w io.Writer, fig *ScalingFigure) error {

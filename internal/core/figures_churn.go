@@ -1,0 +1,148 @@
+package core
+
+import (
+	"errors"
+
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// The churn experiment family probes the control-plane dimension the
+// paper's single-flow methodology deliberately holds still: what happens
+// to a software switch when its rule tables are edited while traffic
+// flows, and when that traffic spreads over more flows than the fast-path
+// caches hold. OvS's three-tier cache hierarchy (EMC → megaflow → slow
+// path) is the motivating case — the EMC holds 8192 entries, so the flow
+// sweep crosses its capacity — but every switch runs the same grid:
+// t4p4s pays table-version invalidations, FastClick classifier-memo
+// resets, VPP its ACL arc, and the fixed-function switches (Snabb, BESS,
+// VALE) appear as unsupported cells whenever rule updates are requested,
+// exactly as their reprogrammability column in Table 1 predicts.
+
+// ChurnFlowCounts is the active-flow sweep (the x-axis). It crosses the
+// OvS EMC capacity (8192) so the cache-overflow knee is visible.
+var ChurnFlowCounts = []int{512, 2048, 8192, 32768}
+
+// ChurnUpdateRates is the rule-update sweep (one curve per rate), in
+// control-plane operations per second of simulated time. Rate 0 is the
+// churn-free baseline — byte-identical to the paper's methodology.
+var ChurnUpdateRates = []float64{0, 10000, 100000}
+
+// ChurnSkews is the flow-mix sweep: 0 cycles flows round-robin (every
+// flow equally active — worst case for caches), 1.1 draws them from a
+// heavy-tailed Zipf (hot flows stay cached while the tail churns).
+var ChurnSkews = []float64{0, 1.1}
+
+// churnProbeEvery is the latency-probe interval of every churn cell: the
+// figure reports latency under load next to throughput, so rule-update
+// stalls show up as RTT inflation too.
+const churnProbeEvery = 100 * units.Microsecond
+
+// ChurnPoint is one (switch, skew, rate, flows) measurement.
+type ChurnPoint struct {
+	Flows int
+	Gbps  float64
+	Mpps  float64
+	// MeanLatencyUs is the mean probe RTT under saturation.
+	MeanLatencyUs float64
+	// RuleUpdates and EMCEvictions echo the Result's control-plane and
+	// cache-pressure counters for the measurement window.
+	RuleUpdates  int64
+	EMCEvictions int64
+	// Unsupported marks switches that cannot take runtime rule updates
+	// (Snabb, BESS, VALE) in cells with a non-zero update rate.
+	Unsupported bool
+}
+
+// ChurnCurve is one line of the churn figure: a switch under one flow
+// mix and one rule-update rate, across the flow-count sweep.
+type ChurnCurve struct {
+	Switch     string
+	Display    string
+	ZipfSkew   float64
+	UpdateRate float64
+	Points     []ChurnPoint
+}
+
+// ChurnFigure is the cache-churn figure family.
+type ChurnFigure struct {
+	Curves []ChurnCurve
+}
+
+// churnConfig builds the cell config for one point. A rate-0 skew-0 cell
+// carries no churn dimension at all: it differs from the paper's p2p
+// methodology only by its flow count and probes.
+func churnConfig(name string, skew, rate float64, flows int, o RunOpts) Config {
+	cfg := Config{
+		Switch: name, Scenario: P2P, FrameLen: 64,
+		Flows: flows, ZipfSkew: skew, RuleUpdateRate: rate,
+		ProbeEvery: churnProbeEvery,
+	}
+	return o.apply(cfg)
+}
+
+// ChurnSpecs returns the flat measurement grid behind the churn figure —
+// the spec set a campaign executes.
+func ChurnSpecs(o RunOpts) []Config {
+	var specs []Config
+	for _, skew := range ChurnSkews {
+		for _, rate := range ChurnUpdateRates {
+			for _, name := range Switches {
+				for _, flows := range ChurnFlowCounts {
+					specs = append(specs, churnConfig(name, skew, rate, flows, o))
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// FigureChurn reproduces the cache-churn figure family (throughput and
+// latency vs. active-flow count and rule-update rate, every switch).
+func FigureChurn(o RunOpts) (*ChurnFigure, error) {
+	return FigureChurnOn(SerialRunner{}, o)
+}
+
+// FigureChurnOn is FigureChurn on an explicit runner.
+func FigureChurnOn(r Runner, o RunOpts) (*ChurnFigure, error) {
+	specs := ChurnSpecs(o)
+	outs := r.RunAll(specs)
+	if err := firstErr(outs); err != nil {
+		return nil, err
+	}
+	fig := &ChurnFigure{}
+	i := 0
+	for _, skew := range ChurnSkews {
+		for _, rate := range ChurnUpdateRates {
+			for _, name := range Switches {
+				info, err := switchdef.Lookup(name)
+				if err != nil {
+					return nil, err
+				}
+				curve := ChurnCurve{
+					Switch: name, Display: info.Display,
+					ZipfSkew: skew, UpdateRate: rate,
+				}
+				for _, flows := range ChurnFlowCounts {
+					out := outs[i]
+					i++
+					pt := ChurnPoint{Flows: flows}
+					switch {
+					case errors.Is(out.Err, ErrNoRuntimeRules):
+						pt.Unsupported = true
+					case out.Err != nil:
+						return nil, out.Err
+					default:
+						pt.Gbps, pt.Mpps = out.Result.Gbps, out.Result.Mpps
+						pt.MeanLatencyUs = out.Result.Latency.MeanUs
+						pt.RuleUpdates = out.Result.RuleUpdates
+						pt.EMCEvictions = out.Result.EMCEvictions
+					}
+					curve.Points = append(curve.Points, pt)
+				}
+				fig.Curves = append(fig.Curves, curve)
+			}
+		}
+	}
+	return fig, nil
+}

@@ -74,6 +74,54 @@ func RenderFigure(w io.Writer, fig *Figure, compare bool) {
 	}
 }
 
+// RenderChurnFigure writes the cache-churn family as one table per
+// (flow mix × update rate) group, columns = active-flow counts, rows =
+// switches; each cell is throughput with mean probe RTT alongside.
+func RenderChurnFigure(w io.Writer, fig *ChurnFigure) {
+	fmt.Fprintln(w, "Churn: p2p 64B throughput (Gbps) / mean RTT (us) vs. active flows and rule-update rate")
+	type groupKey struct {
+		skew float64
+		rate float64
+	}
+	groups := map[groupKey]map[string]ChurnCurve{}
+	var order []groupKey
+	for _, c := range fig.Curves {
+		k := groupKey{c.ZipfSkew, c.UpdateRate}
+		if groups[k] == nil {
+			groups[k] = map[string]ChurnCurve{}
+			order = append(order, k)
+		}
+		groups[k][c.Switch] = c
+	}
+	for _, k := range order {
+		mix := "round-robin flows"
+		if k.skew > 0 {
+			mix = fmt.Sprintf("zipf(%.1f) flows", k.skew)
+		}
+		fmt.Fprintf(w, "\n  %s, %.0f rule updates/s:\n", mix, k.rate)
+		fmt.Fprintf(w, "  %-10s", "switch")
+		for _, n := range ChurnFlowCounts {
+			fmt.Fprintf(w, " %14df", n)
+		}
+		fmt.Fprintln(w)
+		for _, name := range Switches {
+			c, ok := groups[k][name]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "  %-10s", name)
+			for _, pt := range c.Points {
+				if pt.Unsupported {
+					fmt.Fprintf(w, " %15s", "-")
+				} else {
+					fmt.Fprintf(w, " %7.2f/%6.1fu", pt.Gbps, pt.MeanLatencyUs)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
 // RenderScalingFigure writes the scaling-curve family as one table per
 // (dispatch × frame size) group, columns = core counts, rows = switches.
 func RenderScalingFigure(w io.Writer, fig *ScalingFigure) {

@@ -5,6 +5,12 @@ import (
 	"repro/internal/units"
 )
 
+// emcEvictioner is the optional stats surface a switch (or fleet facade)
+// exposes when its data plane maintains an exact-match cache.
+type emcEvictioner interface {
+	EMCEvictionCount() int64
+}
+
 // Run executes one measurement: assemble the testbed, run the warmup,
 // then measure over the configured window.
 func Run(cfg Config) (Result, error) {
@@ -51,8 +57,19 @@ func Run(cfg Config) (Result, error) {
 	for i, c := range tb.sutPolls {
 		busy0[i], idle0[i] = c.Busy, c.Idle
 	}
+	var updates0, evict0 int64
+	if tb.controller != nil {
+		updates0 = tb.controller.Updates()
+	}
+	if ec, ok := tb.sw.(emcEvictioner); ok {
+		evict0 = ec.EMCEvictionCount()
+	}
 
 	tb.run(cfg.Warmup + cfg.Duration)
+
+	if tb.controller != nil && tb.controller.Err != nil {
+		return Result{}, tb.controller.Err
+	}
 
 	// Collect.
 	res := Result{Config: cfg, Display: tb.info.Display, Steps: tb.steps(), SimPartitions: tb.partitions()}
@@ -86,6 +103,12 @@ func Run(cfg Config) (Result, error) {
 	}
 	for i, fn := range tb.copyFns {
 		res.HostCopies += fn() - copy0[i]
+	}
+	if tb.controller != nil {
+		res.RuleUpdates = tb.controller.Updates() - updates0
+	}
+	if ec, ok := tb.sw.(emcEvictioner); ok {
+		res.EMCEvictions = ec.EMCEvictionCount() - evict0
 	}
 	var busy, idle units.Cycles
 	for i, c := range tb.sutPolls {

@@ -40,7 +40,7 @@ func (cfg Config) Canonical() Config { return cfg.withDefaults() }
 // missing bars ("-"), matching the paper.
 func firstErr(outs []SpecOutcome) error {
 	for _, o := range outs {
-		if o.Err != nil && !errors.Is(o.Err, ErrChainTooLong) && !errors.Is(o.Err, ErrNoMultiCore) {
+		if o.Err != nil && !errors.Is(o.Err, ErrChainTooLong) && !errors.Is(o.Err, ErrNoMultiCore) && !errors.Is(o.Err, ErrNoRuntimeRules) {
 			return o.Err
 		}
 	}

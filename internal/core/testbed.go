@@ -99,6 +99,9 @@ type testbed struct {
 	gens     []*tgen.Generator
 	sinks    []*tgen.Sink
 	monitors []*vm.Monitor
+	// controller is the control-plane churn actor (nil unless the graph
+	// declares one).
+	controller *ruleController
 
 	guestCores []*cpu.PollCore
 
@@ -464,6 +467,10 @@ func (tb *testbed) nicGenerator(name string, port *nic.Port, spec pkt.FrameSpec,
 		Rate:  tb.cfg.Rate,
 		Flows: tb.cfg.Flows,
 		IMIX:  tb.cfg.IMIX,
+	}
+	if tb.cfg.ZipfSkew > 0 {
+		cfg.ZipfSkew = tb.cfg.ZipfSkew
+		cfg.RNG = tb.rng.Derive("zipf-" + name)
 	}
 	if probes && tb.cfg.ProbeEvery > 0 {
 		cfg.ProbeEvery = tb.cfg.ProbeEvery

@@ -15,25 +15,34 @@ import (
 // the testbed assembler when the graph is compiled.
 func (cfg Config) Graph() (*topo.Graph, error) {
 	cfg = cfg.withDefaults()
+	var g *topo.Graph
 	switch cfg.Scenario {
 	case P2P:
-		return p2pGraph(cfg), nil
+		g = p2pGraph(cfg)
 	case P2V:
-		return p2vGraph(cfg), nil
+		g = p2vGraph(cfg)
 	case V2V:
 		if cfg.LatencyTopology {
-			return v2vLatencyGraph(cfg), nil
+			g = v2vLatencyGraph(cfg)
+		} else {
+			g = v2vGraph(cfg)
 		}
-		return v2vGraph(cfg), nil
 	case Loopback:
-		return loopbackGraph(cfg), nil
+		g = loopbackGraph(cfg)
 	case Custom:
 		if cfg.Topology == nil {
 			return nil, errors.New("core: custom scenario without a Topology graph")
 		}
 		return cfg.Topology, nil
+	default:
+		return nil, fmt.Errorf("core: unknown scenario %v", cfg.Scenario)
 	}
-	return nil, fmt.Errorf("core: unknown scenario %v", cfg.Scenario)
+	// Mid-run rule churn adds the control-plane actor to any named
+	// scenario; custom graphs declare their own controller node.
+	if cfg.RuleUpdateRate > 0 {
+		g.Nodes = append(g.Nodes, topo.Node{Name: "controller", Kind: topo.KindController})
+	}
+	return g, nil
 }
 
 // Node/edge shorthands for the scenario builders.

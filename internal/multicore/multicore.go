@@ -181,6 +181,45 @@ func (f *Fleet) CrossConnect(a, b int) error {
 	return nil
 }
 
+// Install implements switchdef.Programmer: a rule broadcast. The control
+// plane programs every per-core shard (any core may see any flow), and
+// each shard re-misses its own caches independently — the same
+// amplification a real multi-queue deployment pays on a table update.
+func (f *Fleet) Install(r switchdef.Rule) error {
+	for _, inst := range f.insts {
+		if err := inst.Install(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Revoke implements switchdef.Programmer, broadcast like Install.
+func (f *Fleet) Revoke(r switchdef.Rule) error {
+	for _, inst := range f.insts {
+		if err := inst.Revoke(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot implements switchdef.Programmer. All shards hold the same
+// program, so shard 0 speaks for the fleet.
+func (f *Fleet) Snapshot() []switchdef.Rule { return f.insts[0].Snapshot() }
+
+// EMCEvictionCount sums per-shard exact-match-cache evictions for
+// instances exposing that stats surface.
+func (f *Fleet) EMCEvictionCount() int64 {
+	var n int64
+	for _, inst := range f.insts {
+		if s, ok := inst.(interface{ EMCEvictionCount() int64 }); ok {
+			n += s.EMCEvictionCount()
+		}
+	}
+	return n
+}
+
 // Poll implements switchdef.Switch by running every core's poll against
 // one meter — a single-threaded fallback. The testbed never uses it: it
 // mounts Polls on one simulated core each.

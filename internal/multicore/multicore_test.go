@@ -44,6 +44,8 @@ func (d *fakeDev) Pending(now units.Time) int { return len(d.rx) }
 
 // fakeInst records the per-core views a Fleet hands out.
 type fakeInst struct {
+	switchdef.NoRuntimeRules
+
 	core  int
 	views []switchdef.DevPort
 }

@@ -57,8 +57,12 @@ func (b *baseModule) setOGate(dst Module) error {
 	return nil
 }
 
-// Switch is a BESS daemon instance.
+// Switch is a BESS daemon instance. Runtime rule updates go through
+// bessctl by rebuilding the module graph, not by editing a live rule
+// table, so the Programmer surface reports ErrNoRuntimeRules.
 type Switch struct {
+	switchdef.NoRuntimeRules
+
 	env   switchdef.Env
 	ports []switchdef.DevPort
 

@@ -85,6 +85,12 @@ type Switch struct {
 	toDevs  []*toDevice
 	anon    int
 
+	// Runtime rule state (program.go): dropMAC is the dl_dst drop set
+	// applied Classifier-style at every source while non-empty; prog
+	// backs Snapshot.
+	dropMAC map[pkt.MAC]bool
+	prog    switchdef.RuleLedger
+
 	// Forwarded and Dropped count data-plane outcomes.
 	Forwarded, Dropped int64
 }
@@ -105,6 +111,7 @@ var info = switchdef.Info{
 	Tuning:            "Increase descriptor ring size to 4096",
 	IOMode:            switchdef.PollMode,
 	RxRingOverride:    4096,
+	RuntimeRules:      true,
 }
 
 // New returns an unconfigured FastClick instance.
@@ -121,12 +128,19 @@ func (sw *Switch) AddPort(p switchdef.DevPort) int {
 	return len(sw.ports) - 1
 }
 
-// CrossConnect implements switchdef.Switch by extending the configuration
-// with a FromDPDKDevice/ToDPDKDevice pair per direction, as in the paper's
-// appendix.
+// CrossConnect implements switchdef.Switch as a canned rule program: each
+// in_port → output rule is lowered by Install into a
+// FromDPDKDevice/ToDPDKDevice configuration fragment, exactly the pairs the
+// paper's appendix writes by hand. The element instantiation order (and so
+// the anonymous element naming sequence) matches the old two-statement
+// configuration.
 func (sw *Switch) CrossConnect(a, b int) error {
-	cfg := fmt.Sprintf("FromDPDKDevice(%d) -> ToDPDKDevice(%d);\nFromDPDKDevice(%d) -> ToDPDKDevice(%d);", a, b, b, a)
-	return sw.Configure(cfg)
+	for _, r := range switchdef.CrossConnectRules(a, b) {
+		if err := sw.Install(r); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Configure parses and instantiates a Click configuration, adding to any
@@ -275,6 +289,12 @@ func (sw *Switch) Poll(now units.Time, m *cost.Meter) bool {
 			per += vhostExtra
 		}
 		m.ChargeNoisy(elemBatchFixed+units.Cycles(n)*per, jitterFrac)
+		if len(sw.dropMAC) > 0 {
+			n = sw.filterDrops(m, burst[:n])
+			if n == 0 {
+				continue
+			}
+		}
 		// Push the RX scratch slice directly: the element graph consumes
 		// batches synchronously and no element retains its input slice
 		// (toDevice and queueElem copy elements into their own storage),

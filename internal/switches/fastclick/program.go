@@ -1,0 +1,97 @@
+package fastclick
+
+import (
+	"fmt"
+
+	"repro/internal/cost"
+	"repro/internal/pkt"
+	"repro/internal/switches/switchdef"
+	"repro/internal/units"
+)
+
+// FastClick's Programmer lowers typed rules onto two surfaces. An
+// in_port → output rule becomes a Click configuration fragment
+// (FromDPDKDevice -> ToDPDKDevice), the same text a user would write; the
+// element graph is push-wired, so such rules cannot be revoked once
+// installed. A dl_dst → drop rule joins a Classifier-style drop set that
+// every source applies to its RX batch while the set is non-empty, which
+// is how runtime churn reaches the data plane without rebuilding the
+// graph. Classifier memo tables and EtherMirror derived-template caches
+// carry no generation counters, so every Install/Revoke resets them
+// directly — the memoized and unmemoized paths must stay bit-identical
+// across reprogramming.
+
+// Install implements switchdef.Programmer.
+func (sw *Switch) Install(r switchdef.Rule) error {
+	if r.Priority != 0 && r.Priority != switchdef.DefaultRulePriority {
+		return fmt.Errorf("fastclick: the element graph carries no rule priorities")
+	}
+	switch {
+	case r.Match.Fields == switchdef.FInPort &&
+		len(r.Actions) == 1 && r.Actions[0].Kind == switchdef.RuleOutput:
+		frag := fmt.Sprintf("FromDPDKDevice(%d) -> ToDPDKDevice(%d);",
+			r.Match.InPort, r.Actions[0].Port)
+		if err := sw.Configure(frag); err != nil {
+			return err
+		}
+	case r.Match.Fields == switchdef.FEthDst &&
+		len(r.Actions) == 1 && r.Actions[0].Kind == switchdef.RuleDrop:
+		if sw.dropMAC == nil {
+			sw.dropMAC = make(map[pkt.MAC]bool)
+		}
+		sw.dropMAC[r.Match.EthDst] = true
+	default:
+		return fmt.Errorf("fastclick: unsupported rule (want in_port→output or dl_dst→drop)")
+	}
+	sw.prog.Put(r)
+	sw.resetMemos()
+	return nil
+}
+
+// Revoke implements switchdef.Programmer.
+func (sw *Switch) Revoke(r switchdef.Rule) error {
+	if _, ok := sw.prog.Get(r); !ok {
+		return fmt.Errorf("fastclick: revoke of absent rule")
+	}
+	if r.Match.Fields == switchdef.FInPort {
+		return fmt.Errorf("fastclick: wiring rules cannot be revoked (push graph is fixed)")
+	}
+	delete(sw.dropMAC, r.Match.EthDst)
+	sw.prog.Delete(r)
+	sw.resetMemos()
+	return nil
+}
+
+// Snapshot implements switchdef.Programmer.
+func (sw *Switch) Snapshot() []switchdef.Rule { return sw.prog.Snapshot() }
+
+// resetMemos retires every per-template cache in the element graph. These
+// caches have no generation counter (patterns are immutable between
+// reconfigurations), so reprogramming must clear them in place.
+func (sw *Switch) resetMemos() {
+	for _, e := range sw.elems {
+		switch el := e.(type) {
+		case *classifier:
+			el.memo.Reset()
+		case *etherMirror:
+			el.derived = nil
+		}
+	}
+}
+
+// filterDrops applies the installed dl_dst drop set to an RX batch,
+// compacting survivors in place. The charge mirrors a Classifier stage:
+// one fixed batch toll plus a per-frame pattern check.
+func (sw *Switch) filterDrops(m *cost.Meter, batch []*pkt.Buf) int {
+	m.Charge(elemBatchFixed + units.Cycles(len(batch))*classifyPerPkt)
+	keep := batch[:0]
+	for _, b := range batch {
+		if sw.dropMAC[pkt.EthDst(b.View())] {
+			b.Free()
+			sw.Dropped++
+			continue
+		}
+		keep = append(keep, b)
+	}
+	return len(keep)
+}

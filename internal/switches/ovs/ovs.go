@@ -140,6 +140,10 @@ type Switch struct {
 	memo     *flowtab.Map[memoKey, memoEntry]
 	cacheGen uint64
 
+	// prog tracks the typed rules installed through the Programmer
+	// surface (program.go), backing Snapshot.
+	prog switchdef.RuleLedger
+
 	txStage [][]*pkt.Buf
 
 	// Stats.
@@ -163,6 +167,7 @@ var info = switchdef.Info{
 	BestAt:            "Stateless SDN deployments",
 	Remarks:           "Supports OpenFlow protocol",
 	IOMode:            switchdef.PollMode,
+	RuntimeRules:      true,
 }
 
 // New returns an OvS instance with an empty flow table.
@@ -244,16 +249,19 @@ func (sw *Switch) rebuildGroups() {
 	sw.groups = order
 }
 
-// CrossConnect implements switchdef.Switch with two port-based rules, as the
-// paper's appendix does via ovs-ofctl.
+// CrossConnect implements switchdef.Switch as the canned rule program of
+// two port-based rules over the Programmer surface — the typed equivalent
+// of what the paper's appendix installs via ovs-ofctl.
 func (sw *Switch) CrossConnect(a, b int) error {
 	if a < 0 || a >= len(sw.ports) || b < 0 || b >= len(sw.ports) {
 		return fmt.Errorf("ovs: bad ports %d,%d", a, b)
 	}
-	if err := sw.AddFlow(fmt.Sprintf("in_port=%d,actions=output:%d", a, b)); err != nil {
-		return err
+	for _, r := range switchdef.CrossConnectRules(a, b) {
+		if err := sw.Install(r); err != nil {
+			return err
+		}
 	}
-	return sw.AddFlow(fmt.Sprintf("in_port=%d,actions=output:%d", b, a))
+	return nil
 }
 
 // classify finds the rule for a key, exercising EMC → megaflow → slow path,

@@ -1,0 +1,219 @@
+package ovs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"repro/internal/switches/switchdef"
+)
+
+// OvS's Programmer lowers typed rules into the same OpenFlow table
+// AddFlow strings feed: each typed match field packs into its fieldSpan,
+// actions map one-to-one, and the canonical ovs-ofctl text is synthesized
+// so DumpFlows output is indistinguishable from string-installed rules.
+// Install and Revoke run the full rebuildGroups + invalidateCaches
+// sequence, so cacheGen advances and every recorded charge script (memo)
+// is retired — the PR 7 invalidation invariant.
+
+// lowerRule converts a typed rule into the internal representation.
+func lowerRule(r switchdef.Rule) (*Rule, error) {
+	out := &Rule{Priority: r.EffectivePriority()}
+	m := r.Match
+	var key FlowKey
+	packed := key.pack()
+	set := func(name string, raw []byte) {
+		span := fieldSpans[name]
+		copy(packed[span.off:span.off+span.len], raw)
+		for i := span.off; i < span.off+span.len; i++ {
+			out.Mask[i] = 0xff
+		}
+	}
+	u16 := func(v uint16) []byte {
+		b := make([]byte, 2)
+		binary.BigEndian.PutUint16(b, v)
+		return b
+	}
+	if m.Fields&switchdef.FInPort != 0 {
+		set("in_port", u16(uint16(m.InPort)))
+	}
+	if m.Fields&switchdef.FEthDst != 0 {
+		set("dl_dst", m.EthDst[:])
+	}
+	if m.Fields&switchdef.FEthSrc != 0 {
+		set("dl_src", m.EthSrc[:])
+	}
+	if m.Fields&switchdef.FEthType != 0 {
+		set("dl_type", u16(m.EthType))
+	}
+	if m.Fields&switchdef.FVLAN != 0 {
+		set("dl_vlan", u16(m.VLAN+1)) // stored as VID+1, like the parser
+	}
+	if m.Fields&switchdef.FIPSrc != 0 {
+		set("nw_src", m.IPSrc[:])
+	}
+	if m.Fields&switchdef.FIPDst != 0 {
+		set("nw_dst", m.IPDst[:])
+	}
+	if m.Fields&switchdef.FIPProto != 0 {
+		set("nw_proto", []byte{m.IPProto})
+	}
+	if m.Fields&switchdef.FL4Src != 0 {
+		set("tp_src", u16(m.L4Src))
+	}
+	if m.Fields&switchdef.FL4Dst != 0 {
+		set("tp_dst", u16(m.L4Dst))
+	}
+	out.Match = mask(out.Mask).apply(packed)
+
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case switchdef.RuleOutput:
+			out.Actions = append(out.Actions, Action{Kind: ActOutput, Port: a.Port})
+		case switchdef.RuleDrop:
+			out.Actions = append(out.Actions, Action{Kind: ActDrop})
+		case switchdef.RuleSetEthDst:
+			out.Actions = append(out.Actions, Action{Kind: ActModDlDst, MAC: a.MAC})
+		case switchdef.RuleSetEthSrc:
+			out.Actions = append(out.Actions, Action{Kind: ActModDlSrc, MAC: a.MAC})
+		default:
+			return nil, fmt.Errorf("ovs: unsupported rule action kind %d", a.Kind)
+		}
+	}
+	if len(out.Actions) == 0 {
+		return nil, fmt.Errorf("ovs: rule has no actions")
+	}
+	out.Text = ruleText(r)
+	return out, nil
+}
+
+// ruleText renders the canonical ovs-ofctl add-flow text of a typed rule
+// (match fields in fieldSpan order, then the action list).
+func ruleText(r switchdef.Rule) string {
+	var parts []string
+	if p := r.EffectivePriority(); p != 32768 {
+		parts = append(parts, fmt.Sprintf("priority=%d", p))
+	}
+	m := r.Match
+	if m.Fields&switchdef.FInPort != 0 {
+		parts = append(parts, fmt.Sprintf("in_port=%d", m.InPort))
+	}
+	if m.Fields&switchdef.FEthDst != 0 {
+		parts = append(parts, "dl_dst="+m.EthDst.String())
+	}
+	if m.Fields&switchdef.FEthSrc != 0 {
+		parts = append(parts, "dl_src="+m.EthSrc.String())
+	}
+	if m.Fields&switchdef.FEthType != 0 {
+		parts = append(parts, fmt.Sprintf("dl_type=0x%04x", m.EthType))
+	}
+	if m.Fields&switchdef.FVLAN != 0 {
+		parts = append(parts, fmt.Sprintf("dl_vlan=%d", m.VLAN))
+	}
+	if m.Fields&switchdef.FIPSrc != 0 {
+		parts = append(parts, fmt.Sprintf("nw_src=%d.%d.%d.%d", m.IPSrc[0], m.IPSrc[1], m.IPSrc[2], m.IPSrc[3]))
+	}
+	if m.Fields&switchdef.FIPDst != 0 {
+		parts = append(parts, fmt.Sprintf("nw_dst=%d.%d.%d.%d", m.IPDst[0], m.IPDst[1], m.IPDst[2], m.IPDst[3]))
+	}
+	if m.Fields&switchdef.FIPProto != 0 {
+		parts = append(parts, fmt.Sprintf("nw_proto=%d", m.IPProto))
+	}
+	if m.Fields&switchdef.FL4Src != 0 {
+		parts = append(parts, fmt.Sprintf("tp_src=%d", m.L4Src))
+	}
+	if m.Fields&switchdef.FL4Dst != 0 {
+		parts = append(parts, fmt.Sprintf("tp_dst=%d", m.L4Dst))
+	}
+	var acts []string
+	for _, a := range r.Actions {
+		switch a.Kind {
+		case switchdef.RuleOutput:
+			acts = append(acts, fmt.Sprintf("output:%d", a.Port))
+		case switchdef.RuleDrop:
+			acts = append(acts, "drop")
+		case switchdef.RuleSetEthDst:
+			acts = append(acts, "mod_dl_dst:"+a.MAC.String())
+		case switchdef.RuleSetEthSrc:
+			acts = append(acts, "mod_dl_src:"+a.MAC.String())
+		}
+	}
+	parts = append(parts, "actions="+strings.Join(acts, ","))
+	return strings.Join(parts, ",")
+}
+
+// Install implements switchdef.Programmer: lower the typed rule into the
+// OpenFlow table (replacing an existing rule with the same priority and
+// match in place) and flush every derived cache.
+func (sw *Switch) Install(r switchdef.Rule) error {
+	lowered, err := lowerRule(r)
+	if err != nil {
+		return err
+	}
+	for _, a := range lowered.Actions {
+		if a.Kind == ActOutput && (a.Port < 0 || a.Port >= len(sw.ports)) {
+			return fmt.Errorf("ovs: rule outputs to missing port %d", a.Port)
+		}
+	}
+	if old := sw.findRule(lowered); old != nil {
+		// Replace in place: the original installation order (seq) is the
+		// rule's identity in tie-breaking, so it must be preserved.
+		lowered.seq = old.seq
+		for i, existing := range sw.rules {
+			if existing == old {
+				sw.rules[i] = lowered
+				break
+			}
+		}
+	} else {
+		lowered.seq = len(sw.rules)
+		sw.rules = append(sw.rules, lowered)
+	}
+	sw.prog.Put(r)
+	sw.rebuildGroups()
+	sw.invalidateCaches()
+	return nil
+}
+
+// Revoke implements switchdef.Programmer: remove the rule with r's
+// (priority, match) identity and flush every derived cache.
+func (sw *Switch) Revoke(r switchdef.Rule) error {
+	lowered, err := lowerRule(r)
+	if err != nil {
+		return err
+	}
+	old := sw.findRule(lowered)
+	if old == nil {
+		return fmt.Errorf("ovs: revoke of absent rule %q", lowered.Text)
+	}
+	for i, existing := range sw.rules {
+		if existing == old {
+			sw.rules = append(sw.rules[:i], sw.rules[i+1:]...)
+			break
+		}
+	}
+	sw.prog.Delete(r)
+	sw.rebuildGroups()
+	sw.invalidateCaches()
+	return nil
+}
+
+// Snapshot implements switchdef.Programmer: the typed rules installed
+// through Install, in install order. Rules fed through raw AddFlow
+// strings live below the typed surface and are not echoed.
+func (sw *Switch) Snapshot() []switchdef.Rule { return sw.prog.Snapshot() }
+
+// EMCEvictionCount reports live EMC replacements (the testbed collects it
+// through an optional stats interface).
+func (sw *Switch) EMCEvictionCount() int64 { return sw.EMCEvictions }
+
+// findRule locates an installed rule with the same identity (priority,
+// mask, masked match) as lowered.
+func (sw *Switch) findRule(lowered *Rule) *Rule {
+	for _, r := range sw.rules {
+		if r.Priority == lowered.Priority && r.Mask == lowered.Mask && r.Match == lowered.Match {
+			return r
+		}
+	}
+	return nil
+}

@@ -82,8 +82,12 @@ type Link struct {
 	Ring *ring.SPSC
 }
 
-// Switch is a Snabb engine instance.
+// Switch is a Snabb engine instance. Reconfiguration means recompiling
+// the app network (engine.configure), not editing a live rule table, so
+// the Programmer surface reports ErrNoRuntimeRules.
 type Switch struct {
+	switchdef.NoRuntimeRules
+
 	env   switchdef.Env
 	ports []switchdef.DevPort
 

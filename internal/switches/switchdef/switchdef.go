@@ -91,6 +91,12 @@ type Info struct {
 	Tuning  string // Table 2 ("" if none)
 
 	IOMode IOMode
+	// RuntimeRules reports whether the data plane accepts Programmer
+	// Install/Revoke while running. False means the switch's Programmer
+	// returns ErrNoRuntimeRules (VALE, Snabb, BESS) — distinct from the
+	// Reprogrammability taxonomy string, which quotes the paper's coarse
+	// development-effort ranking.
+	RuntimeRules bool
 	// MaxLoopbackVNFs caps loopback chain length (0 = unlimited). BESS's
 	// QEMU incompatibility caps it at 3 (paper §5.2 footnote 5).
 	MaxLoopbackVNFs int
@@ -114,11 +120,17 @@ type Switch interface {
 	AddPort(p DevPort) int
 	// CrossConnect installs bidirectional L2 forwarding between two
 	// attached ports, through the switch's native configuration
-	// mechanism (flow rules, graph wiring, table entries, ...).
+	// mechanism (flow rules, graph wiring, table entries, ...). For
+	// reprogrammable switches it is a canned rule program over the
+	// Programmer surface (CrossConnectRules / CrossConnectMACRules).
 	CrossConnect(a, b int) error
 	// Poll runs one scheduling quantum on the SUT core, charging
 	// consumed cycles to m and reporting whether any work was done.
 	Poll(now units.Time, m *cost.Meter) bool
+	// Programmer is the unified runtime rule-management surface.
+	// Switches whose data plane cannot take runtime updates embed
+	// NoRuntimeRules (Install/Revoke return ErrNoRuntimeRules).
+	Programmer
 }
 
 // Env is what a switch factory needs from the testbed.

@@ -124,6 +124,10 @@ type Table struct {
 	tern    []ternEntry
 	Default Entry
 
+	// shadow mirrors the exact-match entries by key string: the arena
+	// ByteMap has no delete, so Remove rebuilds it from this ledger.
+	shadow map[string]Entry
+
 	keyBuf  []byte
 	version uint64
 
@@ -138,7 +142,28 @@ func NewTable(name string, key []FieldID, def Entry) *Table {
 // Add installs an entry keyed by the concatenated field values.
 func (t *Table) Add(keyBytes []byte, e Entry) {
 	t.entries.Put(keyBytes, e)
+	if t.shadow == nil {
+		t.shadow = make(map[string]Entry)
+	}
+	t.shadow[string(keyBytes)] = e
 	t.version++
+}
+
+// Remove deletes an exact entry, reporting whether it was present. The
+// backing ByteMap is arena-allocated with no per-key delete, so the table
+// is rebuilt from the shadow ledger; probe layout is not observable (the
+// lookup charge is flat), so the rebuild order cannot move any output.
+func (t *Table) Remove(keyBytes []byte) bool {
+	if _, ok := t.shadow[string(keyBytes)]; !ok {
+		return false
+	}
+	delete(t.shadow, string(keyBytes))
+	t.entries = flowtab.NewByteMap[Entry](8)
+	for k, e := range t.shadow {
+		t.entries.Put([]byte(k), e)
+	}
+	t.version++
+	return true
 }
 
 // Switch is a t4p4s instance running a compiled P4 program.
@@ -163,6 +188,10 @@ type Switch struct {
 	memo        *flowtab.Map[uint64, t4Memo]
 	progGen     uint64
 	bumpScratch []*int64
+
+	// prog tracks the typed rules installed through the Programmer
+	// surface (program.go), backing Snapshot.
+	prog switchdef.RuleLedger
 
 	// Forwarded and Dropped count data-plane outcomes.
 	Forwarded, Dropped int64
@@ -229,6 +258,7 @@ var info = switchdef.Info{
 	Remarks:           "Supports P4 language",
 	Tuning:            "Remove source MAC learning phase",
 	IOMode:            switchdef.PollMode,
+	RuntimeRules:      true,
 	RxRingOverride:    2048,
 }
 
@@ -263,14 +293,17 @@ func (sw *Switch) AddL2Entry(mac pkt.MAC, port int) error {
 	return nil
 }
 
-// CrossConnect implements switchdef.Switch: per the paper, the l2fwd flow
-// table is populated with "destination MAC address → output port" entries
-// using the testbed's PortMAC convention.
+// CrossConnect implements switchdef.Switch as the canned MAC-vocabulary
+// rule program: per the paper, the l2fwd flow table is populated with
+// "destination MAC address → output port" entries using the testbed's
+// PortMAC convention.
 func (sw *Switch) CrossConnect(a, b int) error {
-	if err := sw.AddL2Entry(switchdef.PortMAC(b), b); err != nil {
-		return err
+	for _, r := range switchdef.CrossConnectMACRules(a, b) {
+		if err := sw.Install(r); err != nil {
+			return err
+		}
 	}
-	return sw.AddL2Entry(switchdef.PortMAC(a), a)
+	return nil
 }
 
 // Poll implements switchdef.Switch: one lcore iteration over every

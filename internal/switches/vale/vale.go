@@ -57,7 +57,12 @@ type Bridge struct {
 }
 
 // Switch hosts one or more VALE bridges on a single (interrupt-driven) core.
+// VALE's learning bridge has no operator-facing rule table (the MAC table is
+// learned, not programmed), so the Programmer surface reports
+// ErrNoRuntimeRules.
 type Switch struct {
+	switchdef.NoRuntimeRules
+
 	// rxScratch is the receive staging array, reused across polls: a
 	// stack array handed through the DevPort interface escapes, which
 	// costs one heap allocation per poll.

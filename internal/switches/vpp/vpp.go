@@ -34,6 +34,7 @@ const (
 	ethInputPerPkt = 26 // header parse + classification
 	l2fwdPerPkt    = 18 // beyond the MAC table hash probes
 	outputPerPkt   = 29 // interface-output buffering
+	aclPerPkt      = 14 // l2patch runtime drop-list check, beyond the hash probe
 	costJitterFrac = 0.02
 	vhostRxPenalty = 80 // paper §5.2: VPP pays extra receiving from vhost
 	vhostTxPenalty = 25 // and a smaller toll transmitting to it
@@ -100,6 +101,14 @@ type Switch struct {
 	mac      *l2.MACTable
 	l3       *ip4State
 
+	// acl is the runtime drop list on the l2patch path (program.go): a
+	// feature-arc-style dl_dst filter consulted only while non-empty, so
+	// rule-free runs charge nothing extra. prog backs Snapshot.
+	acl  map[pkt.MAC]bool
+	prog switchdef.RuleLedger
+	// ACLDropped counts frames the runtime drop list discarded.
+	ACLDropped int64
+
 	txStage [][]*pkt.Buf // per-port tx staging, flushed at frame end
 
 	// Forwarded and Dropped count data-plane outcomes.
@@ -143,6 +152,7 @@ var info = switchdef.Info{
 	BestAt:            "VNF chaining",
 	Remarks:           "Supports live migration",
 	IOMode:            switchdef.PollMode,
+	RuntimeRules:      true,
 }
 
 // AddPort implements switchdef.Switch.
@@ -154,8 +164,9 @@ func (sw *Switch) AddPort(p switchdef.DevPort) int {
 	return len(sw.ports) - 1
 }
 
-// CrossConnect implements switchdef.Switch using the l2patch feature, as in
-// the paper's appendix ("test l2patch rx port0 tx port1").
+// CrossConnect implements switchdef.Switch as the canned rule program
+// over the l2patch feature, as in the paper's appendix ("test l2patch rx
+// port0 tx port1").
 func (sw *Switch) CrossConnect(a, b int) error {
 	if err := sw.checkPort(a); err != nil {
 		return err
@@ -163,8 +174,11 @@ func (sw *Switch) CrossConnect(a, b int) error {
 	if err := sw.checkPort(b); err != nil {
 		return err
 	}
-	sw.patchTo[a] = b
-	sw.patchTo[b] = a
+	for _, r := range switchdef.CrossConnectRules(a, b) {
+		if err := sw.Install(r); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -325,6 +339,24 @@ type patchNode struct{}
 func (patchNode) Name() string { return "l2-patch" }
 func (patchNode) Process(sw *Switch, now units.Time, m *cost.Meter, ctx int, v []*pkt.Buf) {
 	m.ChargeNoisy(nodeFixed+units.Cycles(len(v))*patchPerPkt, costJitterFrac)
+	if len(sw.acl) > 0 {
+		// Feature arc: the runtime drop list is consulted only while
+		// rules are installed, so rule-free runs charge nothing here.
+		m.Charge(units.Cycles(len(v)) * (m.Model.HashLookup + aclPerPkt))
+		keep := v[:0]
+		for _, b := range v {
+			if sw.acl[pkt.EthDst(b.View())] {
+				sw.ACLDropped++
+				sw.enqueue1(nodeDrop, ctx, b)
+				continue
+			}
+			keep = append(keep, b)
+		}
+		if len(keep) == 0 {
+			return
+		}
+		v = keep
+	}
 	sw.enqueue(nodeOutput, sw.patchTo[ctx], v)
 }
 

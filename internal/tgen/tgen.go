@@ -8,6 +8,9 @@
 package tgen
 
 import (
+	"math"
+	"sort"
+
 	"repro/internal/nic"
 	"repro/internal/pkt"
 	"repro/internal/sim"
@@ -37,6 +40,13 @@ type Config struct {
 	// (distinct source MAC + UDP source port); 0/1 = the paper's
 	// single-flow traffic.
 	Flows int
+	// ZipfSkew, when > 0 (with Flows > 1 and an RNG), draws each
+	// frame's flow from a Zipf distribution with this exponent instead
+	// of the round-robin cycle: flow k carries weight 1/(k+1)^skew, the
+	// heavy-tailed mix of real traces. 0 keeps the cycle byte-identical.
+	ZipfSkew float64
+	// RNG drives the Zipf draw (required only when ZipfSkew > 0).
+	RNG *sim.RNG
 	// IMIX cycles frame sizes through the classic Internet mix
 	// (7×64B : 4×570B : 1×1518B) instead of Spec.FrameLen.
 	IMIX bool
@@ -62,6 +72,10 @@ type Generator struct {
 	lastKey  tmplKey
 	lastTmpl *pkt.Template
 
+	// zipfCDF is the precomputed flow-weight CDF when ZipfSkew is
+	// active; nil keeps the round-robin path untouched.
+	zipfCDF []float64
+
 	// Sent counts emitted frames; SentProbes the probe subset.
 	Sent       int64
 	SentProbes int64
@@ -75,8 +89,35 @@ func NewGenerator(s *sim.Scheduler, cfg Config) *Generator {
 		cfg.Burst = DefaultBurst
 	}
 	g := &Generator{cfg: cfg, sched: s}
+	if cfg.ZipfSkew > 0 && cfg.Flows > 1 && cfg.RNG != nil {
+		g.zipfCDF = zipfCDF(cfg.Flows, cfg.ZipfSkew)
+	}
 	g.task = s.Register(cfg.Name, g)
 	return g
+}
+
+// zipfCDF precomputes the cumulative weights of a Zipf distribution over
+// n flows: flow k has weight 1/(k+1)^s. An explicit CDF plus binary
+// search keeps the draw exact, allocation-free, and — unlike
+// rejection-based samplers — consuming exactly one RNG value per frame,
+// so the random stream's alignment is a pure function of the frame index.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return cdf
+}
+
+// zipfFlow draws one flow index from the precomputed CDF.
+func (g *Generator) zipfFlow() int {
+	u := g.cfg.RNG.Float64()
+	return sort.SearchFloat64s(g.zipfCDF, u)
 }
 
 // Start schedules the first burst.
@@ -122,7 +163,9 @@ func (g *Generator) emitOne(at units.Time) bool {
 	}
 	g.seq++
 	flow := 0
-	if g.cfg.Flows > 1 {
+	if g.zipfCDF != nil {
+		flow = g.zipfFlow()
+	} else if g.cfg.Flows > 1 {
 		flow = int(g.seq) % g.cfg.Flows
 	}
 	b := g.cfg.Pool.Get(frameLen)

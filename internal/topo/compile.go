@@ -46,6 +46,9 @@ type Assembler interface {
 	// whose MACs it writes as destination per direction (NoPort: no
 	// rewrite). app is "", "l2fwd", or "vale" (see Node.App).
 	VNF(name string, a, b, srcMAC, rewriteAB, rewriteBA int, app string) error
+	// Controller starts the control-plane actor that programs rules into
+	// the switch mid-run. It owns no SUT port.
+	Controller(name string) error
 }
 
 // Compile validates g and materializes it into asm. It subsumes what the
@@ -120,6 +123,8 @@ func Compile(g *Graph, asm Assembler) error {
 				rewBA = egress(n.A)
 			}
 			err = asm.VNF(n.Name, ports[n.A], ports[n.B], ports[srcIf], egress(n.B), rewBA, n.App)
+		case KindController:
+			err = asm.Controller(n.Name)
 		default:
 			continue
 		}

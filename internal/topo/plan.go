@@ -133,6 +133,12 @@ func (p *Plan) VNF(name string, a, b, srcMAC, rewriteAB, rewriteBA int, app stri
 	return nil
 }
 
+// Controller implements Assembler.
+func (p *Plan) Controller(name string) error {
+	p.Actors = append(p.Actors, nonActor(name, KindController))
+	return nil
+}
+
 // DOT renders a validated graph as Graphviz DOT: SUT ports as boxes
 // (guest ifs clustered per VM), endpoints as ellipses, cross-connects as
 // bold edges, wires and vifs as plain and dashed edges.
@@ -182,6 +188,8 @@ func DOT(g *Graph) (string, error) {
 			fmt.Fprintf(&sb, "  %q [shape=ellipse, label=\"%s\\n(monitor)\"];\n", n.Name, n.Name)
 		case KindVNF:
 			fmt.Fprintf(&sb, "  %q [shape=component, label=\"%s\\n(vnf)\"];\n", n.Name, n.Name)
+		case KindController:
+			fmt.Fprintf(&sb, "  %q [shape=diamond, label=\"%s\\n(controller)\"];\n", n.Name, n.Name)
 		}
 	}
 	for _, e := range r.crosses {

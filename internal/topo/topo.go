@@ -45,6 +45,11 @@ const (
 	// KindMonitor is a guest-side counting endpoint (FloWatcher-DPDK /
 	// pkt-gen RX) on a guest interface.
 	KindMonitor NodeKind = "monitor"
+	// KindController is the control-plane actor: it programs rules into
+	// the SUT switch mid-run (install/revoke churn) over the management
+	// channel, so it owns no SUT port and attaches to nothing. At most
+	// one per graph.
+	KindController NodeKind = "controller"
 )
 
 // EdgeKind types a topology edge.
@@ -156,6 +161,16 @@ func Parse(data []byte) (*Graph, error) {
 // Node returns the named node, or nil.
 func (g *Graph) Node(name string) *Node { return g.node(name) }
 
+// HasController reports whether the graph declares a control-plane node.
+func (g *Graph) HasController() bool {
+	for i := range g.Nodes {
+		if g.Nodes[i].Kind == KindController {
+			return true
+		}
+	}
+	return false
+}
+
 // node returns the named node, or nil.
 func (g *Graph) node(name string) *Node {
 	for i := range g.Nodes {
@@ -179,10 +194,10 @@ func vmOf(n *Node) string {
 func attachable(k NodeKind) bool { return k == KindPhysPair || k == KindGuestIf }
 
 // endpoint reports whether a node is a traffic endpoint created after
-// wiring (generator, sink, monitor, or VNF).
+// wiring (generator, sink, monitor, VNF, or controller).
 func endpoint(k NodeKind) bool {
 	switch k {
-	case KindGenerator, KindSink, KindMonitor, KindVNF:
+	case KindGenerator, KindSink, KindMonitor, KindVNF, KindController:
 		return true
 	}
 	return false

@@ -50,7 +50,7 @@ func (g *Graph) resolve() (*resolved, error) {
 		}
 		r.byName[n.Name] = n
 		switch n.Kind {
-		case KindPhysPair, KindGuestIf, KindVNF, KindGenerator, KindSink, KindMonitor:
+		case KindPhysPair, KindGuestIf, KindVNF, KindGenerator, KindSink, KindMonitor, KindController:
 		default:
 			fail("node %q has unknown kind %q", n.Name, n.Kind)
 		}
@@ -140,7 +140,7 @@ func (g *Graph) resolve() (*resolved, error) {
 		fail("node %q attaches to %q (%s), want %v", name, field, t.Kind, kinds)
 		return nil
 	}
-	generators, measured := 0, 0
+	generators, measured, controllers := 0, 0, 0
 	for i := range r.nodes {
 		n := &r.nodes[i]
 		if n.Queues < 0 {
@@ -176,6 +176,14 @@ func (g *Graph) resolve() (*resolved, error) {
 			case "", "l2fwd", "vale":
 			default:
 				fail("vnf %q has unknown app %q", n.Name, n.App)
+			}
+		case KindController:
+			controllers++
+			if controllers == 2 {
+				fail("graph declares more than one controller")
+			}
+			if n.At != "" || n.A != "" || n.B != "" {
+				fail("controller %q carries attachment fields; it speaks to the switch over the management channel, not a port", n.Name)
 			}
 		case KindPhysPair, KindGuestIf:
 			if n.At != "" || n.A != "" || n.B != "" {

@@ -174,6 +174,12 @@ type (
 	ScalingCurve = core.ScalingCurve
 	// ScalingPoint is one (switch, dispatch, size, cores) measurement.
 	ScalingPoint = core.ScalingPoint
+	// ChurnFigure is the cache-churn figure family.
+	ChurnFigure = core.ChurnFigure
+	// ChurnCurve is one line of the churn figure.
+	ChurnCurve = core.ChurnCurve
+	// ChurnPoint is one (switch, skew, rate, flows) measurement.
+	ChurnPoint = core.ChurnPoint
 )
 
 // Run profiles.
@@ -215,6 +221,13 @@ func FigureScaling(o RunOpts) (*ScalingFigure, error) { return core.FigureScalin
 // ScalingSpecs returns the flat measurement grid behind the scaling
 // figure.
 func ScalingSpecs(o RunOpts) []Config { return core.ScalingSpecs(o) }
+
+// FigureChurn reproduces the cache-churn figure family (throughput and
+// latency vs. active-flow count and rule-update rate, every switch).
+func FigureChurn(o RunOpts) (*ChurnFigure, error) { return core.FigureChurn(o) }
+
+// ChurnSpecs returns the flat measurement grid behind the churn figure.
+func ChurnSpecs(o RunOpts) []Config { return core.ChurnSpecs(o) }
 
 // Campaign orchestration: every figure and table decomposes into
 // independent deterministic simulations, and a Runner executes such a
@@ -313,6 +326,11 @@ func FigureScalingOn(r Runner, o RunOpts) (*ScalingFigure, error) {
 	return core.FigureScalingOn(r, o)
 }
 
+// FigureChurnOn is FigureChurn on an explicit runner.
+func FigureChurnOn(r Runner, o RunOpts) (*ChurnFigure, error) {
+	return core.FigureChurnOn(r, o)
+}
+
 // Renderers (text tables; also the source of EXPERIMENTS.md).
 func RenderFigure(w io.Writer, fig *Figure, compare bool) { core.RenderFigure(w, fig, compare) }
 func RenderFigure1(w io.Writer, pts []Figure1Point)       { core.RenderFigure1(w, pts) }
@@ -325,6 +343,7 @@ func RenderTable4(w io.Writer, rows []Table4Row, compare bool) { core.RenderTabl
 func RenderTable5(w io.Writer)                                 { core.RenderTable5(w) }
 func RenderResult(w io.Writer, res Result)                     { core.RenderResult(w, res) }
 func RenderScalingFigure(w io.Writer, fig *ScalingFigure)      { core.RenderScalingFigure(w, fig) }
+func RenderChurnFigure(w io.Writer, fig *ChurnFigure)          { core.RenderChurnFigure(w, fig) }
 
 // CSV exports, for plotting with external tools.
 func WriteFigureCSV(w io.Writer, fig *Figure) error         { return core.WriteFigureCSV(w, fig) }
@@ -332,6 +351,7 @@ func WriteFigure1CSV(w io.Writer, pts []Figure1Point) error { return core.WriteF
 func WriteTable3CSV(w io.Writer, cells []Table3Cell) error  { return core.WriteTable3CSV(w, cells) }
 func WriteWindowsCSV(w io.Writer, pts []WindowPoint) error  { return core.WriteWindowsCSV(w, pts) }
 func WriteScalingCSV(w io.Writer, fig *ScalingFigure) error { return core.WriteScalingCSV(w, fig) }
+func WriteChurnCSV(w io.Writer, fig *ChurnFigure) error     { return core.WriteChurnCSV(w, fig) }
 
 // Extension point: implement and register your own switch data plane, then
 // benchmark it with the same methodology (see examples/customswitch).
@@ -356,6 +376,60 @@ const (
 	VhostKind = switchdef.VhostKind
 	PtnetKind = switchdef.PtnetKind
 )
+
+// Unified control plane: every Switch also implements Programmer, a typed
+// rule surface (install/revoke/snapshot) that CrossConnect, the sdnrules
+// example, and the mid-run churn controller all drive. Switches whose data
+// plane cannot take runtime updates embed NoRuntimeRules and report
+// ErrNoRuntimeRules.
+type (
+	// Programmer is the runtime rule-management contract.
+	Programmer = switchdef.Programmer
+	// Rule is one typed match/action rule.
+	Rule = switchdef.Rule
+	// RuleMatch is a rule's typed match (a 12-tuple subset).
+	RuleMatch = switchdef.Match
+	// RuleAction is one action of a rule's action list.
+	RuleAction = switchdef.RuleAction
+	// RuleFieldSet is the bitmask naming a match's constrained fields.
+	RuleFieldSet = switchdef.FieldSet
+	// NoRuntimeRules is the embeddable Programmer stub for fixed-function
+	// data planes.
+	NoRuntimeRules = switchdef.NoRuntimeRules
+)
+
+// ErrNoRuntimeRules reports a switch whose data plane cannot be
+// reprogrammed while running.
+var ErrNoRuntimeRules = switchdef.ErrNoRuntimeRules
+
+// Match field selectors for RuleMatch.Fields.
+const (
+	FInPort  = switchdef.FInPort
+	FEthDst  = switchdef.FEthDst
+	FEthSrc  = switchdef.FEthSrc
+	FEthType = switchdef.FEthType
+	FVLAN    = switchdef.FVLAN
+	FIPSrc   = switchdef.FIPSrc
+	FIPDst   = switchdef.FIPDst
+	FIPProto = switchdef.FIPProto
+	FL4Src   = switchdef.FL4Src
+	FL4Dst   = switchdef.FL4Dst
+)
+
+// Rule action kinds.
+const (
+	RuleOutput    = switchdef.RuleOutput
+	RuleDrop      = switchdef.RuleDrop
+	RuleSetEthDst = switchdef.RuleSetEthDst
+	RuleSetEthSrc = switchdef.RuleSetEthSrc
+)
+
+// DefaultRulePriority is the priority Install assumes for Rule.Priority 0.
+const DefaultRulePriority = switchdef.DefaultRulePriority
+
+// CrossConnectRules returns the canned two-rule program equivalent to
+// CrossConnect(a, b): in_port=a → output:b and the reverse.
+func CrossConnectRules(a, b int) []Rule { return switchdef.CrossConnectRules(a, b) }
 
 // I/O modes for SwitchInfo.
 const (

@@ -132,6 +132,8 @@ func TestPublicRegisterCustomSwitch(t *testing.T) {
 }
 
 type wireSwitch struct {
+	swbench.NoRuntimeRules
+
 	ports []swbench.DevPort
 	peer  map[int]int
 }
