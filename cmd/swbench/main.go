@@ -39,8 +39,13 @@ func usage() {
 	fmt.Fprintln(os.Stderr, "  swbench table 1|2|3|4|5 [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench all [-quick] [-compare] [-workers N]")
 	fmt.Fprintln(os.Stderr, "  swbench campaign list | <name> [-quick] [-workers N] [-timeout D] [-cache-dir P] [-artifacts F] [-resume] [-bench-out F]")
+	fmt.Fprintln(os.Stderr, "                 [-fabric host:port] [-cache URL] [-manifest F]   # distributed fleet execution")
+	fmt.Fprintln(os.Stderr, "  swbench worker -join host:port [-cache URL] [-cache-dir P] [-id S] [-batch N]   # join a campaign fleet")
+	fmt.Fprintln(os.Stderr, "  swbench serve-cache -dir P [-listen host:port]   # export a result cache to the fleet")
+	fmt.Fprintln(os.Stderr, "  swbench cache stats -dir P | -url U")
+	fmt.Fprintln(os.Stderr, "  swbench cache prune -dir P -max-bytes N          # oldest-accessed-first eviction")
 	fmt.Fprintln(os.Stderr, "  swbench bench [-quick] [-repeats N] [-out F] [-baseline F]   # engine host-speed cells")
-	fmt.Fprintln(os.Stderr, "  (figure, table, all, and campaign also take -cpuprofile F and -memprofile F)")
+	fmt.Fprintln(os.Stderr, "  (figure, table, and all also take -fabric and -cache; plus -cpuprofile F and -memprofile F)")
 	os.Exit(2)
 }
 
@@ -70,6 +75,12 @@ func main() {
 		err = allCmd(os.Args[2:])
 	case "campaign":
 		err = campaignCmd(os.Args[2:])
+	case "worker":
+		err = workerCmd(os.Args[2:])
+	case "serve-cache":
+		err = serveCacheCmd(os.Args[2:])
+	case "cache":
+		err = cacheCmd(os.Args[2:])
 	case "bench":
 		err = benchCmd(os.Args[2:])
 	default:
@@ -185,6 +196,13 @@ func suiteFlags(fs *flag.FlagSet) (*bool, *bool, *int, *int, *profiler) {
 	return quick, compare, workers, simWorkers, addProfileFlags(fs)
 }
 
+// fabricFlags adds the fleet flags shared by the figure/table/all verbs.
+func fabricFlags(fs *flag.FlagSet) (fabricAddr, cacheURL *string) {
+	fabricAddr = fs.String("fabric", "", "run cells on a worker fleet: coordinator listen address (host:port)")
+	cacheURL = fs.String("cache", "", "shared result-cache server URL")
+	return fabricAddr, cacheURL
+}
+
 // profiled runs fn under the requested CPU/heap profiles.
 func profiled(p *profiler, fn func() error) error {
 	if err := p.start(); err != nil {
@@ -218,14 +236,16 @@ func figureCmd(args []string) error {
 	id := args[0]
 	fs := flag.NewFlagSet("figure", flag.ExitOnError)
 	quick, compare, workers, simWorkers, prof := suiteFlags(fs)
+	fabricAddr, cacheURL := fabricFlags(fs)
 	csvPath := fs.String("csv", "", "also write the figure data as CSV to this path")
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	r, err := newRunner(*workers, "", false)
+	r, closeRunner, err := newRunner(*workers, "", false, *fabricAddr, *cacheURL)
 	if err != nil {
 		return err
 	}
+	defer closeRunner()
 	return profiled(prof, func() error {
 		if *csvPath != "" {
 			return figureCSV(r, id, suiteOpts(*quick, *simWorkers), *csvPath)
@@ -366,13 +386,15 @@ func tableCmd(args []string) error {
 	id := args[0]
 	fs := flag.NewFlagSet("table", flag.ExitOnError)
 	quick, compare, workers, simWorkers, prof := suiteFlags(fs)
+	fabricAddr, cacheURL := fabricFlags(fs)
 	if err := fs.Parse(args[1:]); err != nil {
 		return err
 	}
-	r, err := newRunner(*workers, "", false)
+	r, closeRunner, err := newRunner(*workers, "", false, *fabricAddr, *cacheURL)
 	if err != nil {
 		return err
 	}
+	defer closeRunner()
 	return profiled(prof, func() error {
 		return renderTable(r, id, suiteOpts(*quick, *simWorkers), *compare)
 	})
@@ -407,15 +429,17 @@ func renderTable(r swbench.Runner, id string, o swbench.RunOpts, compare bool) e
 func allCmd(args []string) error {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	quick, compare, workers, simWorkers, prof := suiteFlags(fs)
+	fabricAddr, cacheURL := fabricFlags(fs)
 	cacheDir := fs.String("cache-dir", "", "content-addressed result cache directory")
 	progress := fs.Bool("progress", false, "stream per-cell progress to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	r, err := newRunner(*workers, *cacheDir, *progress)
+	r, closeRunner, err := newRunner(*workers, *cacheDir, *progress, *fabricAddr, *cacheURL)
 	if err != nil {
 		return err
 	}
+	defer closeRunner()
 	o := suiteOpts(*quick, *simWorkers)
 	return profiled(prof, func() error {
 		for _, id := range []string{"1", "2"} {

@@ -30,6 +30,10 @@ func progressPrinter(w io.Writer) func(swbench.CampaignEvent) {
 		if ev.ETA > 0 {
 			line += fmt.Sprintf("  %5.1f cells/s  eta %s", ev.Rate, round(ev.ETA))
 		}
+		// Fleet runs name the executor; local execution stays unadorned.
+		if ev.Worker != "" && ev.Worker != "local" {
+			line += "  worker=" + ev.Worker
+		}
 		fmt.Fprintln(w, line)
 	}
 }

@@ -24,6 +24,7 @@ type ArtifactRecord struct {
 	Config core.Config `json:"config"`
 
 	Cached   bool   `json:"cached,omitempty"`
+	Worker   string `json:"worker,omitempty"`
 	Err      string `json:"err,omitempty"`
 	Panicked bool   `json:"panicked,omitempty"`
 	Stack    string `json:"stack,omitempty"`
@@ -41,8 +42,10 @@ type ArtifactRecord struct {
 }
 
 // TimingFields lists the ArtifactRecord JSON keys that vary between runs
-// of an identical campaign; determinism checks strip them.
-var TimingFields = []string{"wall_ms"}
+// of an identical campaign (host timing and executor identity — a fabric
+// run and a local run of the same campaign differ only here);
+// determinism checks strip them.
+var TimingFields = []string{"wall_ms", "worker", "cached"}
 
 // Record converts one outcome into its artifact line.
 func Record(campaignName string, index int, out Outcome) ArtifactRecord {
@@ -53,6 +56,7 @@ func Record(campaignName string, index int, out Outcome) ArtifactRecord {
 		Version:  cost.ModelVersion,
 		Config:   out.Spec.Cfg.Canonical(),
 		Cached:   out.Cached,
+		Worker:   out.Worker,
 		Panicked: out.Panicked,
 		Stack:    out.Stack,
 		WallMs:   float64(out.Wall.Microseconds()) / 1e3,

@@ -1,0 +1,19 @@
+//go:build linux
+
+package campaign
+
+import (
+	"os"
+	"syscall"
+	"time"
+)
+
+// atime returns the file's last-access time, the eviction clock cache
+// pruning sorts by. Falls back to ModTime if the stat shape is unexpected
+// (e.g. a synthetic test FileInfo).
+func atime(fi os.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package campaign
+
+import (
+	"os"
+	"time"
+)
+
+// atime approximates last access with ModTime on platforms where the
+// stat access time is not portably available; eviction order stays
+// deterministic either way.
+func atime(fi os.FileInfo) time.Time { return fi.ModTime() }

@@ -100,9 +100,15 @@ type Options struct {
 	// cannot be preempted mid-step, its goroutine is abandoned and the
 	// worker slot moves on.
 	Timeout time.Duration
-	// Cache, when non-nil, serves repeated configs from disk and stores
-	// fresh results.
-	Cache *Cache
+	// Cache, when non-nil, serves repeated configs and stores fresh
+	// results. A *Cache is the local on-disk store; internal/fabric
+	// supplies HTTP-backed and tiered implementations.
+	Cache Store
+	// Manifest, when non-nil, is the campaign's durable progress ledger:
+	// cells it records as done replay without running, and fresh
+	// completions are appended, so a killed campaign resumes from where
+	// it stopped.
+	Manifest *Manifest
 	// Events receives progress events (nil = silent). Callbacks are
 	// serialized; they must not block for long.
 	Events func(Event)
@@ -142,8 +148,13 @@ type Outcome struct {
 	Spec   Spec
 	Result core.Result
 	Err    error
-	// Cached reports a result served from the cache without running.
+	// Cached reports a result served without running: a cache hit or a
+	// manifest replay.
 	Cached bool
+	// Worker identifies the executor: "local" for in-process execution
+	// and cache hits, "manifest" for resume replays, and the worker's ID
+	// for cells a fabric worker ran.
+	Worker string
 	// Panicked cells carry the recovered value's message in Err and the
 	// goroutine stack here.
 	Panicked bool
@@ -181,8 +192,25 @@ func (r *Report) Err() error {
 		r.Name, r.Failed, len(r.Outcomes), strings.Join(ids, ", "))
 }
 
-func cellFailed(err error) bool {
+func cellFailed(err error) bool { return CellFailed(err) }
+
+// CellFailed reports whether a cell error is a real failure.
+// ErrChainTooLong is a legitimate per-switch limit the figures render as
+// "-", not a failure; everything else (panics, timeouts, hard errors) is.
+func CellFailed(err error) bool {
 	return err != nil && !errors.Is(err, core.ErrChainTooLong)
+}
+
+// WorkerCounts aggregates completed cells per executor identity — the
+// straggler view of a fabric run ("worker-a: 40 cells, worker-b: 7").
+func (r *Report) WorkerCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, o := range r.Outcomes {
+		if o.Worker != "" {
+			counts[o.Worker]++
+		}
+	}
+	return counts
 }
 
 // Run executes the campaign: every cell exactly once, fanned out over the
@@ -230,7 +258,7 @@ func (o *Orchestrator) Run(c Campaign) (*Report, error) {
 		case out.Cached:
 			typ = EventCached
 		}
-		emit(Event{Type: typ, Index: i, ID: out.Spec.ID, Err: out.Err, Wall: out.Wall})
+		emit(Event{Type: typ, Index: i, ID: out.Spec.ID, Err: out.Err, Wall: out.Wall, Worker: out.Worker})
 	}
 
 	idx := make(chan int)
@@ -262,8 +290,8 @@ func (o *Orchestrator) Run(c Campaign) (*Report, error) {
 			defer wg.Done()
 			for i := range idx {
 				spec := c.Specs[i]
-				emit(Event{Type: EventStarted, Index: i, ID: spec.ID})
-				finish(i, o.runCell(spec))
+				emit(Event{Type: EventStarted, Index: i, ID: spec.ID, Worker: "local"})
+				finish(i, o.runCell(i, spec))
 			}
 		}()
 	}
@@ -305,17 +333,62 @@ feed:
 	return rep, ctxErr
 }
 
-// runCell executes one cell: cache lookup, then a recovered, timed run.
-func (o *Orchestrator) runCell(spec Spec) (out Outcome) {
-	out = Outcome{Spec: spec}
+// runCell executes one cell: manifest replay, cache lookup, then a
+// recovered, timed run whose result feeds back into both ledgers.
+func (o *Orchestrator) runCell(index int, spec Spec) (out Outcome) {
 	start := time.Now()
 	defer func() { out.Wall = time.Since(start) }()
 
+	var key string
+	if o.opts.Manifest != nil {
+		key = CacheKey(spec.Cfg)
+		if res, ok := o.opts.Manifest.Lookup(key); ok {
+			return Outcome{Spec: spec, Result: res, Cached: true, Worker: "manifest"}
+		}
+	}
 	if o.opts.Cache != nil {
 		if res, ok := o.opts.Cache.Get(spec.Cfg); ok {
-			out.Result, out.Cached = res, true
+			out = Outcome{Spec: spec, Result: res, Cached: true, Worker: "local"}
+			o.record(index, spec, key, out.Result)
 			return out
 		}
+	}
+
+	out = ExecuteCell(o.ctx, o.run, spec, o.opts.Timeout)
+	out.Worker = "local"
+	if out.Err == nil {
+		if o.opts.Cache != nil {
+			o.opts.Cache.Put(spec.Cfg, out.Result)
+		}
+		o.record(index, spec, key, out.Result)
+	}
+	return out
+}
+
+// record appends a completed cell to the manifest (key pre-computed when
+// the manifest is enabled; empty otherwise).
+func (o *Orchestrator) record(index int, spec Spec, key string, res core.Result) {
+	if o.opts.Manifest == nil {
+		return
+	}
+	o.opts.Manifest.Record(index, spec.ID, "local", key, res)
+}
+
+// ExecuteCell runs one cell with panic recovery and an optional
+// wall-clock timeout — the single per-cell isolation path shared by the
+// local orchestrator and the fabric workers. Because a simulation cannot
+// be preempted mid-step, a timed-out or cancelled cell's goroutine is
+// abandoned and the caller moves on. The returned Outcome carries the
+// host wall-clock time; the caller stamps executor identity.
+func ExecuteCell(ctx context.Context, run func(core.Config) (core.Result, error), spec Spec, timeout time.Duration) Outcome {
+	out := Outcome{Spec: spec}
+	start := time.Now()
+	defer func() { out.Wall = time.Since(start) }()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if run == nil {
+		run = core.Run
 	}
 
 	type cellRet struct {
@@ -337,26 +410,23 @@ func (o *Orchestrator) runCell(spec Spec) (out Outcome) {
 			}
 			ch <- ret
 		}()
-		ret.res, ret.err = o.run(spec.Cfg)
+		ret.res, ret.err = run(spec.Cfg)
 	}()
 
-	var timeout <-chan time.Time
-	if o.opts.Timeout > 0 {
-		t := time.NewTimer(o.opts.Timeout)
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
 		defer t.Stop()
-		timeout = t.C
+		expired = t.C
 	}
 	select {
 	case ret := <-ch:
 		out.Result, out.Err = ret.res, ret.err
 		out.Panicked, out.Stack = ret.panicked, ret.stack
-	case <-timeout:
-		out.Err = fmt.Errorf("%w (%v)", ErrCellTimeout, o.opts.Timeout)
-	case <-o.ctx.Done():
-		out.Err = o.ctx.Err()
-	}
-	if out.Err == nil && o.opts.Cache != nil {
-		o.opts.Cache.Put(spec.Cfg, out.Result)
+	case <-expired:
+		out.Err = fmt.Errorf("%w (%v)", ErrCellTimeout, timeout)
+	case <-ctx.Done():
+		out.Err = ctx.Err()
 	}
 	return out
 }

@@ -42,6 +42,9 @@ type Event struct {
 	ID    string // spec ID
 	Err   error  // failed/finished cells
 	Wall  time.Duration
+	// Worker is the executor identity: "local" for in-process cells,
+	// "manifest" for resume replays, the worker ID for fabric cells.
+	Worker string
 
 	Done    int
 	Total   int

@@ -1,0 +1,137 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/cost"
+)
+
+// ManifestRecord is one JSONL line of a campaign manifest: one cell's
+// content-addressed key, status, and (for completed cells) its result.
+// A manifest is the campaign's durable progress ledger — re-running a
+// killed campaign against the same manifest replays the recorded cells
+// and executes only the remainder.
+type ManifestRecord struct {
+	Index   int    `json:"index"`
+	ID      string `json:"id"`
+	Key     string `json:"key"`
+	Version string `json:"version"`
+	Status  string `json:"status"` // "done"
+	Worker  string `json:"worker,omitempty"`
+
+	Result *core.Result `json:"result,omitempty"`
+}
+
+// Manifest is an append-only JSONL campaign progress ledger, keyed by the
+// cells' content addresses (CacheKey). Only error-free completions are
+// recorded: failed, panicked, and timed-out cells re-run on resume.
+// Records from a different cost-model version are ignored on load — a
+// recalibration invalidates a manifest exactly as it invalidates the
+// result cache. Unparsable lines (a run killed mid-append) are skipped,
+// never fatal: the worst case is re-measuring one cell.
+type Manifest struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	enc  *json.Encoder
+	done map[string]*core.Result // key -> recorded result
+}
+
+// OpenManifest opens (creating if needed) a manifest file and loads its
+// completed-cell records.
+func OpenManifest(path string) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: opening manifest: %w", err)
+	}
+	m := &Manifest{path: path, f: f, done: make(map[string]*core.Result)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var size int64
+	sawNewline := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		size += int64(len(line)) + 1
+		var rec ManifestRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			continue // torn or foreign line: the cell re-runs
+		}
+		if rec.Status != "done" || rec.Version != cost.ModelVersion || rec.Result == nil {
+			continue
+		}
+		m.done[rec.Key] = rec.Result
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: reading manifest: %w", err)
+	}
+	// Appends must start on a fresh line even if the previous run died
+	// mid-write; a lone newline is harmless and keeps every later record
+	// parsable.
+	if fi, err := f.Stat(); err == nil && fi.Size() > 0 {
+		buf := make([]byte, 1)
+		if _, err := f.ReadAt(buf, fi.Size()-1); err == nil {
+			sawNewline = buf[0] == '\n'
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: seeking manifest: %w", err)
+	}
+	if !sawNewline {
+		f.Write([]byte{'\n'})
+	}
+	m.enc = json.NewEncoder(f)
+	return m, nil
+}
+
+// Path returns the manifest file path.
+func (m *Manifest) Path() string { return m.path }
+
+// Len counts the loaded completed-cell records.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.done)
+}
+
+// Lookup returns the recorded result for a cell key, if any.
+func (m *Manifest) Lookup(key string) (core.Result, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if res, ok := m.done[key]; ok {
+		return *res, true
+	}
+	return core.Result{}, false
+}
+
+// Record appends a completed cell. Re-recording a key already in the
+// ledger is a no-op, so replayed and re-issued cells never duplicate
+// lines. Write errors are swallowed like cache Put errors: a manifest
+// that cannot persist degrades to re-measurement on the next resume.
+func (m *Manifest) Record(index int, id, worker, key string, res core.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.done[key]; ok {
+		return
+	}
+	r := res
+	m.done[key] = &r
+	m.enc.Encode(ManifestRecord{
+		Index: index, ID: id, Key: key,
+		Version: cost.ModelVersion, Status: "done",
+		Worker: worker, Result: &r,
+	})
+}
+
+// Close flushes and closes the manifest file.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.f.Close()
+}

@@ -1,0 +1,70 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// PruneStats summarizes one cache GC pass.
+type PruneStats struct {
+	// Scanned is the number of intact entries found.
+	Scanned int
+	// Removed is how many entries the pass evicted.
+	Removed int
+	// BytesBefore/BytesAfter are the cache's total entry bytes around the
+	// pass.
+	BytesBefore int64
+	BytesAfter  int64
+}
+
+// Prune evicts entries until the cache's total size is at or below
+// maxBytes, oldest access time first (falling back to modification time on
+// filesystems that don't surface atime). Eviction order is deterministic:
+// ties on timestamp break by key, so two prunes of identical trees remove
+// identical sets. maxBytes <= 0 empties the cache.
+func (c *Cache) Prune(maxBytes int64) (PruneStats, error) {
+	type ent struct {
+		path string
+		size int64
+		at   time.Time
+	}
+	var (
+		ents  []ent
+		stats PruneStats
+	)
+	err := filepath.Walk(c.dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || filepath.Ext(path) != ".json" {
+			return err
+		}
+		ents = append(ents, ent{path: path, size: info.Size(), at: atime(info)})
+		stats.BytesBefore += info.Size()
+		return nil
+	})
+	if err != nil {
+		return stats, err
+	}
+	stats.Scanned = len(ents)
+	stats.BytesAfter = stats.BytesBefore
+	sort.Slice(ents, func(i, j int) bool {
+		if !ents[i].at.Equal(ents[j].at) {
+			return ents[i].at.Before(ents[j].at)
+		}
+		return ents[i].path < ents[j].path
+	})
+	for _, e := range ents {
+		if stats.BytesAfter <= maxBytes {
+			break
+		}
+		if err := os.Remove(e.path); err != nil {
+			return stats, err
+		}
+		stats.Removed++
+		stats.BytesAfter -= e.size
+		// Drop the fan-out directory if this was its last entry; an empty
+		// shard dir is recreated on demand by the next Put.
+		os.Remove(filepath.Dir(e.path))
+	}
+	return stats, nil
+}

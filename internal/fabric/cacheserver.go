@@ -1,0 +1,177 @@
+package fabric
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+// maxEntryBytes bounds a PUT body; a result entry is a few KB, so this is
+// generous headroom, not a real limit.
+const maxEntryBytes = 1 << 24
+
+// CacheServer exports a local content-addressed result cache over HTTP:
+//
+//	GET  /cache/{key}  -> entry blob (404 on miss)
+//	PUT  /cache/{key}  -> 204 (400 when the entry fails integrity)
+//	GET  /stats        -> CacheStats JSON
+//
+// Every PUT is integrity-checked server-side by recomputing the content
+// address from the entry's embedded config and cost-model version, and
+// written atomically. Concurrent PUTs of the same key are single-flighted:
+// one writer persists, the rest wait for its outcome — N workers finishing
+// the same recalibration cell cost one disk write, not N.
+type CacheServer struct {
+	cache *campaign.Cache
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	stats    CacheStats
+
+	// putGate, when non-nil, runs in the single-flight leader just before
+	// the store — a test hook to hold the flight open while followers
+	// pile up.
+	putGate func(key string)
+}
+
+// flight is one in-progress PUT other writers of the same key wait on.
+type flight struct {
+	done chan struct{}
+	err  error
+}
+
+// CacheStats is the server's observability surface, served at /stats.
+type CacheStats struct {
+	// Entries/Bytes describe the underlying store.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// Gets/Hits/Puts count requests served; Deduped counts PUTs answered
+	// by another in-flight identical PUT without touching disk.
+	Gets    int64 `json:"gets"`
+	Hits    int64 `json:"hits"`
+	Puts    int64 `json:"puts"`
+	Stores  int64 `json:"stores"`
+	Deduped int64 `json:"deduped"`
+}
+
+// NewCacheServer wraps an open result cache in the HTTP service.
+func NewCacheServer(cache *campaign.Cache) *CacheServer {
+	return &CacheServer{cache: cache, inflight: make(map[string]*flight)}
+}
+
+// Stats snapshots the counters plus the store's entry count and size.
+func (s *CacheServer) Stats() CacheStats {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	st.Entries, st.Bytes = s.cache.Stats()
+	return st
+}
+
+// ServeHTTP implements http.Handler.
+func (s *CacheServer) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/stats" && r.Method == http.MethodGet:
+		writeJSON(w, s.Stats())
+	case strings.HasPrefix(r.URL.Path, "/cache/"):
+		key := strings.TrimPrefix(r.URL.Path, "/cache/")
+		if !validKey(key) {
+			http.Error(w, "fabric: malformed cache key", http.StatusBadRequest)
+			return
+		}
+		switch r.Method {
+		case http.MethodGet:
+			s.get(w, key)
+		case http.MethodPut:
+			s.put(w, r, key)
+		default:
+			http.Error(w, "fabric: GET or PUT", http.StatusMethodNotAllowed)
+		}
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+// validKey accepts exactly the hex SHA-256 shape CacheKey produces.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *CacheServer) get(w http.ResponseWriter, key string) {
+	s.mu.Lock()
+	s.stats.Gets++
+	s.mu.Unlock()
+	blob, ok := s.cache.GetBlob(key)
+	if !ok {
+		http.Error(w, "fabric: cache miss", http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	s.stats.Hits++
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+}
+
+func (s *CacheServer) put(w http.ResponseWriter, r *http.Request, key string) {
+	blob, err := io.ReadAll(io.LimitReader(r.Body, maxEntryBytes))
+	if err != nil {
+		http.Error(w, "fabric: reading entry body", http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	s.stats.Puts++
+	if f, ok := s.inflight[key]; ok {
+		// Another writer is persisting this key right now; its outcome is
+		// ours — identical key means identical (config, cost model) and a
+		// deterministic result.
+		s.stats.Deduped++
+		s.mu.Unlock()
+		<-f.done
+		replyPut(w, f.err)
+		return
+	}
+	f := &flight{done: make(chan struct{})}
+	s.inflight[key] = f
+	s.stats.Stores++
+	gate := s.putGate
+	s.mu.Unlock()
+
+	if gate != nil {
+		gate(key)
+	}
+	f.err = s.cache.PutBlob(key, blob)
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	close(f.done)
+	replyPut(w, f.err)
+}
+
+func replyPut(w http.ResponseWriter, err error) {
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

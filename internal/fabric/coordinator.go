@@ -1,0 +1,336 @@
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// DefaultLeaseTTL is how long a leased cell may stay unreported before
+// the coordinator hands it back to the pending queue for re-issue.
+const DefaultLeaseTTL = 2 * time.Minute
+
+// CoordinatorOptions configures a Coordinator.
+type CoordinatorOptions struct {
+	// LeaseTTL bounds how long a worker may hold a cell without
+	// completing it; an expired lease is re-issued to the next /lease
+	// call, so a dead worker's cells migrate instead of hanging the
+	// campaign. 0 means DefaultLeaseTTL.
+	LeaseTTL time.Duration
+}
+
+// Coordinator shards campaign cells to workers over HTTP in a
+// work-stealing pull model:
+//
+//	POST /lease?n=N&worker=ID -> LeaseResponse (up to N cells, leased)
+//	POST /complete            -> []Completion
+//	GET  /status              -> CoordinatorStatus
+//
+// Workers pull batches at their own pace — a fast machine simply leases
+// more often, which is all the load balancing a grid of independent
+// deterministic cells needs. Completions are slotted by (job, index), so
+// outcome order is spec order regardless of which worker finished when,
+// and a late duplicate completion of a re-issued cell is ignored.
+type Coordinator struct {
+	opts CoordinatorOptions
+
+	mu      sync.Mutex
+	jobs    map[int]*Job
+	order   []int // job submission order: leases drain older jobs first
+	nextJob int
+	closed  bool
+
+	reissued int64
+	leases   map[string]int64 // worker -> cells leased (liveness view)
+}
+
+// cellState is one cell's lifecycle within a job.
+type cellState uint8
+
+const (
+	statePending cellState = iota
+	stateLeased
+	stateDone
+)
+
+// Job is one submitted batch of cells awaiting fleet execution.
+type Job struct {
+	id       int
+	co       *Coordinator
+	specs    []campaign.Spec
+	timeout  time.Duration
+	emit     func(campaign.Event)
+	state    []cellState
+	deadline []time.Time
+	pending  []int // FIFO of pending cell indices
+	outcomes []campaign.Outcome
+	left     int
+	done     chan struct{}
+}
+
+// NewCoordinator returns an empty coordinator; expose it with any
+// http.Server (it implements http.Handler) and feed it with Submit.
+func NewCoordinator(opts CoordinatorOptions) *Coordinator {
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = DefaultLeaseTTL
+	}
+	return &Coordinator{
+		opts:   opts,
+		jobs:   make(map[int]*Job),
+		leases: make(map[string]int64),
+	}
+}
+
+// Submit enqueues a batch of cells for the fleet. emit (optional)
+// receives per-cell progress events with job-local indices and worker
+// identities; timeout is the per-cell wall-clock budget workers enforce.
+func (co *Coordinator) Submit(specs []campaign.Spec, timeout time.Duration, emit func(campaign.Event)) *Job {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	j := &Job{
+		id:       co.nextJob,
+		co:       co,
+		specs:    specs,
+		timeout:  timeout,
+		emit:     emit,
+		state:    make([]cellState, len(specs)),
+		deadline: make([]time.Time, len(specs)),
+		pending:  make([]int, 0, len(specs)),
+		outcomes: make([]campaign.Outcome, len(specs)),
+		left:     len(specs),
+		done:     make(chan struct{}),
+	}
+	co.nextJob++
+	for i := range specs {
+		j.pending = append(j.pending, i)
+	}
+	if j.left == 0 {
+		close(j.done)
+	} else {
+		co.jobs[j.id] = j
+		co.order = append(co.order, j.id)
+	}
+	return j
+}
+
+// Wait blocks until every cell of the job completed, returning outcomes
+// in spec order. Context cancellation abandons the job: cells not yet
+// completed report the context error, mirroring the local orchestrator.
+func (j *Job) Wait(ctx context.Context) ([]campaign.Outcome, error) {
+	select {
+	case <-j.done:
+		return j.outcomes, nil
+	case <-ctx.Done():
+	}
+	j.co.mu.Lock()
+	defer j.co.mu.Unlock()
+	select {
+	case <-j.done:
+		// Completed while we were acquiring the lock.
+		return j.outcomes, nil
+	default:
+	}
+	for i := range j.specs {
+		if j.state[i] != stateDone {
+			j.state[i] = stateDone
+			j.outcomes[i] = campaign.Outcome{Spec: j.specs[i], Err: ctx.Err()}
+		}
+	}
+	j.left = 0
+	j.co.drop(j.id)
+	close(j.done)
+	return j.outcomes, ctx.Err()
+}
+
+// drop removes a job from the dispatch rotation. Caller holds co.mu.
+func (co *Coordinator) drop(id int) {
+	delete(co.jobs, id)
+	for i, jid := range co.order {
+		if jid == id {
+			co.order = append(co.order[:i], co.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Close marks the coordinator as draining: once the jobs in flight
+// finish, idle workers are told to shut down instead of polling forever.
+func (co *Coordinator) Close() {
+	co.mu.Lock()
+	co.closed = true
+	co.mu.Unlock()
+}
+
+// Reissued counts leases that expired and were handed back for re-issue.
+func (co *Coordinator) Reissued() int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.reissued
+}
+
+// reap hands expired leases back to their pending queues. Caller holds
+// co.mu.
+func (co *Coordinator) reap(now time.Time) {
+	for _, jid := range co.order {
+		j := co.jobs[jid]
+		for i := range j.specs {
+			if j.state[i] == stateLeased && now.After(j.deadline[i]) {
+				j.state[i] = statePending
+				j.pending = append(j.pending, i)
+				co.reissued++
+			}
+		}
+	}
+}
+
+// lease hands out up to n cells across jobs in submission order.
+func (co *Coordinator) lease(n int, worker string) LeaseResponse {
+	now := time.Now()
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	co.reap(now)
+	var cells []Cell
+	for _, jid := range co.order {
+		j := co.jobs[jid]
+		for len(cells) < n && len(j.pending) > 0 {
+			i := j.pending[0]
+			j.pending = j.pending[1:]
+			if j.state[i] != statePending {
+				continue
+			}
+			j.state[i] = stateLeased
+			j.deadline[i] = now.Add(co.opts.LeaseTTL)
+			spec := j.specs[i]
+			cells = append(cells, Cell{
+				Job: j.id, Index: i, ID: spec.ID,
+				Key:       campaign.CacheKey(spec.Cfg),
+				Config:    spec.Cfg,
+				TimeoutMs: j.timeout.Milliseconds(),
+			})
+			if j.emit != nil {
+				j.emit(campaign.Event{Type: campaign.EventStarted, Index: i, ID: spec.ID, Worker: worker})
+			}
+		}
+		if len(cells) >= n {
+			break
+		}
+	}
+	co.leases[worker] += int64(len(cells))
+	return LeaseResponse{Cells: cells, Shutdown: co.closed && len(cells) == 0 && len(co.order) == 0}
+}
+
+// complete slots finished cells back into their jobs.
+func (co *Coordinator) complete(comps []Completion) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	for _, c := range comps {
+		j, ok := co.jobs[c.Job]
+		if !ok || c.Index < 0 || c.Index >= len(j.specs) {
+			continue // abandoned job or garbage index
+		}
+		if j.state[c.Index] == stateDone {
+			continue // late duplicate of a re-issued cell
+		}
+		j.state[c.Index] = stateDone
+		out := campaign.Outcome{
+			Spec:     j.specs[c.Index],
+			Err:      decodeErr(c.ErrKind, c.Err),
+			Cached:   c.Cached,
+			Panicked: c.Panicked,
+			Stack:    c.Stack,
+			Worker:   c.Worker,
+			Wall:     time.Duration(c.WallMs * float64(time.Millisecond)),
+		}
+		if c.Result != nil {
+			out.Result = *c.Result
+		}
+		j.outcomes[c.Index] = out
+		j.left--
+		if j.emit != nil {
+			typ := campaign.EventFinished
+			switch {
+			case campaign.CellFailed(out.Err):
+				typ = campaign.EventFailed
+			case out.Cached:
+				typ = campaign.EventCached
+			}
+			j.emit(campaign.Event{Type: typ, Index: c.Index, ID: out.Spec.ID, Err: out.Err, Wall: out.Wall, Worker: out.Worker})
+		}
+		if j.left == 0 {
+			co.drop(j.id)
+			close(j.done)
+		}
+	}
+}
+
+// CoordinatorStatus is the /status JSON.
+type CoordinatorStatus struct {
+	Jobs     int              `json:"jobs"`
+	Pending  int              `json:"pending"`
+	Leased   int              `json:"leased"`
+	Reissued int64            `json:"reissued"`
+	Closed   bool             `json:"closed"`
+	Workers  map[string]int64 `json:"workers"`
+}
+
+// Status snapshots the coordinator.
+func (co *Coordinator) Status() CoordinatorStatus {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	st := CoordinatorStatus{
+		Jobs: len(co.order), Reissued: co.reissued, Closed: co.closed,
+		Workers: make(map[string]int64, len(co.leases)),
+	}
+	for w, n := range co.leases {
+		st.Workers[w] = n
+	}
+	for _, jid := range co.order {
+		j := co.jobs[jid]
+		for i := range j.specs {
+			switch j.state[i] {
+			case statePending:
+				st.Pending++
+			case stateLeased:
+				st.Leased++
+			}
+		}
+	}
+	return st
+}
+
+// ServeHTTP implements http.Handler.
+func (co *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/lease" && r.Method == http.MethodPost:
+		n, _ := strconv.Atoi(r.URL.Query().Get("n"))
+		if n <= 0 {
+			n = 1
+		}
+		worker := r.URL.Query().Get("worker")
+		if worker == "" {
+			worker = "anonymous"
+		}
+		writeJSON(w, co.lease(n, worker))
+	case r.URL.Path == "/complete" && r.Method == http.MethodPost:
+		var comps []Completion
+		if err := decodeJSON(io.LimitReader(r.Body, maxEntryBytes), &comps); err != nil {
+			http.Error(w, fmt.Sprintf("fabric: decoding completions: %v", err), http.StatusBadRequest)
+			return
+		}
+		co.complete(comps)
+		w.WriteHeader(http.StatusNoContent)
+	case r.URL.Path == "/status" && r.Method == http.MethodGet:
+		writeJSON(w, co.Status())
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func decodeJSON(r io.Reader, v any) error { return json.NewDecoder(r).Decode(v) }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/cost"
+	"repro/internal/fabric"
 	"repro/internal/pkt"
 	"repro/internal/stats"
 	"repro/internal/switches/switchdef"
@@ -282,6 +283,93 @@ func NewOrchestrator(ctx context.Context, opts CampaignOptions) *Orchestrator {
 
 // OpenResultCache opens (creating if needed) a result cache directory.
 func OpenResultCache(dir string) (*ResultCache, error) { return campaign.OpenCache(dir) }
+
+// ResultStore is the content-addressed result store contract: the local
+// on-disk ResultCache, the HTTP FabricCacheClient, and the tiered
+// composition of both all implement it, and CampaignOptions.Cache accepts
+// any of them.
+type ResultStore = campaign.Store
+
+// CampaignCacheKey returns a config's content address (canonical config +
+// cost-model version) — the key the result cache, the campaign manifest,
+// and the fabric's version-skew handshake all share.
+func CampaignCacheKey(cfg Config) string { return campaign.CacheKey(cfg) }
+
+// CachePruneStats summarizes one ResultCache.Prune pass.
+type CachePruneStats = campaign.PruneStats
+
+// CampaignManifest is the append-only JSONL progress ledger that makes
+// campaigns resumable: recorded cells replay without running.
+type CampaignManifest = campaign.Manifest
+
+// CampaignManifestRecord is one line of a campaign manifest.
+type CampaignManifestRecord = campaign.ManifestRecord
+
+// OpenCampaignManifest opens (creating if needed) a campaign manifest.
+func OpenCampaignManifest(path string) (*CampaignManifest, error) {
+	return campaign.OpenManifest(path)
+}
+
+// Distributed campaign fabric: a coordinator shards campaign cells to
+// worker daemons over HTTP (work-stealing pull model with lease expiry),
+// a cache server exports the content-addressed result store fleet-wide,
+// and a FabricRunner slots outcomes back into deterministic spec order
+// behind the same Runner seam — a fabric run is byte-identical to a
+// local run of the same campaign (see internal/fabric).
+type (
+	// FabricCoordinator shards cells to workers over HTTP.
+	FabricCoordinator = fabric.Coordinator
+	// FabricCoordinatorOptions configures a coordinator.
+	FabricCoordinatorOptions = fabric.CoordinatorOptions
+	// FabricCoordinatorStatus is the coordinator's /status snapshot.
+	FabricCoordinatorStatus = fabric.CoordinatorStatus
+	// FabricRunner executes campaigns on the fleet (implements Runner).
+	FabricRunner = fabric.Runner
+	// FabricRunnerOptions configures a FabricRunner.
+	FabricRunnerOptions = fabric.RunnerOptions
+	// FabricWorkerOptions configures one worker daemon.
+	FabricWorkerOptions = fabric.WorkerOptions
+	// FabricCacheServer exports a ResultCache over HTTP.
+	FabricCacheServer = fabric.CacheServer
+	// FabricCacheClient is the ResultStore view of a remote cache server.
+	FabricCacheClient = fabric.CacheClient
+	// FabricCacheStats is a cache server's /stats counters.
+	FabricCacheStats = fabric.CacheStats
+)
+
+// ErrFabricVersionSkew reports a worker whose content address for a cell
+// disagrees with the coordinator's (cost model or canonicalization skew).
+var ErrFabricVersionSkew = fabric.ErrVersionSkew
+
+// NewFabricCoordinator returns an empty coordinator; it implements
+// http.Handler and is fed with Submit (or driven by a FabricRunner).
+func NewFabricCoordinator(opts FabricCoordinatorOptions) *FabricCoordinator {
+	return fabric.NewCoordinator(opts)
+}
+
+// NewFabricRunner wraps a coordinator in a campaign-level Runner.
+func NewFabricRunner(ctx context.Context, co *FabricCoordinator, opts FabricRunnerOptions) *FabricRunner {
+	return fabric.NewRunner(ctx, co, opts)
+}
+
+// RunFabricWorker joins a coordinator and executes leased cells until it
+// signals shutdown or ctx is cancelled.
+func RunFabricWorker(ctx context.Context, opts FabricWorkerOptions) error {
+	return fabric.RunWorker(ctx, opts)
+}
+
+// NewFabricCacheServer wraps an open result cache in the HTTP service.
+func NewFabricCacheServer(cache *ResultCache) *FabricCacheServer {
+	return fabric.NewCacheServer(cache)
+}
+
+// NewFabricCacheClient returns a ResultStore backed by a cache server.
+func NewFabricCacheClient(base string) *FabricCacheClient { return fabric.NewCacheClient(base) }
+
+// NewTieredStore composes a local and a remote result store (reads check
+// local first, remote hits write through; writes go to both). Either may
+// be nil; both nil returns nil.
+func NewTieredStore(local, remote ResultStore) ResultStore { return fabric.NewTiered(local, remote) }
 
 // BuiltinCampaign returns a named experiment campaign (see
 // BuiltinCampaignNames) with o applied to every spec.
